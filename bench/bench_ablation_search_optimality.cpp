@@ -1,0 +1,92 @@
+// Ablation: heuristic beam search vs exhaustive / branch-and-bound optimum
+// (the paper's stated future work, §V: "it may be feasible to devise a
+// branch-and-bound approach to mine optimal location patterns").
+//
+// On the crime-like data (univariate target, where the tight optimistic
+// estimator applies) we compare, at depth 2:
+//   1. the paper's beam search (width 40),
+//   2. plain exhaustive enumeration (the global optimum),
+//   3. branch-and-bound with the tight univariate SI bound,
+// reporting quality found, candidates evaluated and wall-clock.
+
+#include <chrono>
+#include <cstdio>
+
+#include "datagen/crime.hpp"
+#include "pattern/patterns.hpp"
+#include "search/exhaustive_search.hpp"
+
+int main() {
+  using namespace sisd;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("=== Ablation: beam vs exhaustive vs branch-and-bound ===\n\n");
+  const datagen::CrimeData data = datagen::MakeCrimeLike(
+      {.num_rows = 1994, .num_descriptions = 40, .seed = 7});
+  Result<model::BackgroundModel> model =
+      model::BackgroundModel::CreateFromData(data.dataset.targets);
+  model.status().CheckOK();
+  const search::ConditionPool pool =
+      search::ConditionPool::Build(data.dataset.descriptions, 4);
+  const si::DescriptionLengthParams dl;
+  const search::QualityFunction quality =
+      [&](const pattern::Intention& intention,
+          const pattern::Extension& ext) {
+        const linalg::Vector mean =
+            pattern::SubgroupMean(data.dataset.targets, ext);
+        return si::ScoreLocation(model.Value(), ext, mean, intention.size(),
+                                 dl)
+            .si;
+      };
+
+  std::printf("%-24s %12s %14s %12s %10s\n", "method", "best SI",
+              "evaluated", "pruned", "seconds");
+
+  {  // Beam search (paper settings, depth 2).
+    search::SearchConfig config;
+    config.max_depth = 2;
+    config.min_coverage = 20;
+    const Clock::time_point a = Clock::now();
+    const search::SearchResult beam = search::BeamSearch(
+        data.dataset.descriptions, pool, config, quality);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - a).count();
+    std::printf("%-24s %12.2f %14zu %12s %10.3f\n", "beam (width 40)",
+                beam.best().quality, beam.num_evaluated, "-", secs);
+  }
+
+  search::ExhaustiveConfig config;
+  config.max_depth = 2;
+  config.min_coverage = 20;
+  double exhaustive_best = 0.0;
+  {  // Plain exhaustive.
+    const Clock::time_point a = Clock::now();
+    const search::ExhaustiveResult plain = search::ExhaustiveSearch(
+        data.dataset.descriptions, pool, config, quality);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - a).count();
+    exhaustive_best = plain.best.quality;
+    std::printf("%-24s %12.2f %14zu %12zu %10.3f\n", "exhaustive",
+                plain.best.quality, plain.num_evaluated,
+                plain.num_pruned_nodes, secs);
+  }
+  {  // Branch-and-bound with the tight univariate bound.
+    Result<search::OptimisticBound> bound = search::MakeUnivariateSiBound(
+        model.Value(), data.dataset.targets, dl, config.min_coverage);
+    bound.status().CheckOK();
+    const Clock::time_point a = Clock::now();
+    const search::ExhaustiveResult bnb = search::ExhaustiveSearch(
+        data.dataset.descriptions, pool, config, quality, &bound.Value());
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - a).count();
+    std::printf("%-24s %12.2f %14zu %12zu %10.3f\n", "branch-and-bound",
+                bnb.best.quality, bnb.num_evaluated, bnb.num_pruned_nodes,
+                secs);
+    std::printf(
+        "\nchecks: all three methods must report the same best SI (%.2f);\n"
+        "branch-and-bound must evaluate strictly fewer candidates than\n"
+        "plain exhaustive enumeration.\n",
+        exhaustive_best);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Fig. 1 of the paper: the distribution of violent crime over
+// the full data vs the part covered by the top subgroup (Gaussian-kernel
+// smoothed estimates), plus the headline numbers of the introduction:
+// top pattern "PctIlleg >= 0.39", coverage 20.5%, subgroup mean 0.53 vs
+// 0.24 overall.
+//
+// Substrate note: the UCI Communities & Crime data is replaced by the
+// seeded crime-like generator (see DESIGN.md §3); absolute values differ
+// slightly, the shape must match.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "datagen/crime.hpp"
+#include "stats/kde.hpp"
+
+int main() {
+  using namespace sisd;
+
+  std::printf("=== Fig. 1: crime-rate distribution, full data vs subgroup ===\n\n");
+  const datagen::CrimeData data = datagen::MakeCrimeLike();
+
+  core::MinerConfig config;
+  config.mix = core::PatternMix::kLocationOnly;
+  config.search.max_depth = 2;
+  config.search.min_coverage = 20;
+  Result<core::IterativeMiner> miner =
+      core::IterativeMiner::Create(data.dataset, config);
+  miner.status().CheckOK();
+  Result<core::IterationResult> result = miner.Value().MineNext();
+  result.status().CheckOK();
+  const core::ScoredLocationPattern& top = result.Value().location;
+
+  const double coverage = 100.0 * double(top.pattern.subgroup.Coverage()) /
+                          double(data.dataset.num_rows());
+  std::printf("%-34s %-28s %s\n", "", "paper reports", "measured");
+  std::printf("%-34s %-28s %s\n", "top pattern intention",
+              "PctIlleg >= 0.39",
+              top.pattern.subgroup.intention
+                  .ToString(data.dataset.descriptions)
+                  .c_str());
+  std::printf("%-34s %-28s %.1f%%\n", "coverage", "20.5%", coverage);
+  std::printf("%-34s %-28s %.2f\n", "crime mean within subgroup", "0.53",
+              top.pattern.mean[0]);
+  std::printf("%-34s %-28s %.2f\n", "crime mean overall", "0.24",
+              data.truth.overall_mean);
+  std::printf("%-34s %-28s %.2f\n", "SI of top pattern", "(not reported)",
+              top.score.si);
+
+  // KDE series (the two curves of Fig. 1), printed as columns.
+  std::vector<double> all_values, subgroup_values;
+  for (size_t i = 0; i < data.dataset.num_rows(); ++i) {
+    all_values.push_back(data.dataset.targets(i, 0));
+  }
+  for (size_t i : top.pattern.subgroup.extension.ToRows()) {
+    subgroup_values.push_back(data.dataset.targets(i, 0));
+  }
+  const auto kde_all =
+      stats::KernelDensity::WithSilvermanBandwidth(all_values);
+  const auto kde_sub =
+      stats::KernelDensity::WithSilvermanBandwidth(subgroup_values);
+  const int kGrid = 21;
+  const std::vector<double> full_curve =
+      kde_all.DensityOnGrid(0.0, 1.0, kGrid);
+  const std::vector<double> sub_curve =
+      kde_sub.DensityOnGrid(0.0, 1.0, kGrid);
+  const double sub_weight = double(subgroup_values.size()) /
+                            double(all_values.size());
+  std::printf("\nKDE series (x, full-data density, subgroup share of it):\n");
+  for (int g = 0; g < kGrid; ++g) {
+    const double x = double(g) / double(kGrid - 1);
+    std::printf("  %.2f  %7.3f  %7.3f\n", x,
+                full_curve[static_cast<size_t>(g)],
+                sub_weight * sub_curve[static_cast<size_t>(g)]);
+  }
+  std::printf(
+      "\nshape check: the subgroup share must dominate the upper tail of\n"
+      "the distribution, as in Fig. 1.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) of the background-model primitives:
+// location updates (Theorem 1), spread updates (Theorem 2), the Eq. 12
+// root finder, location-IC evaluation (fast single-group path vs general
+// mixture path), and full coordinate-descent refits. Parameterized over
+// target dimensionality to expose the O(dy^3) factorization cost that
+// drives the paper's Table II.
+
+#include <benchmark/benchmark.h>
+
+#include "model/assimilator.hpp"
+#include "model/background_model.hpp"
+#include "random/rng.hpp"
+#include "si/interestingness.hpp"
+
+namespace {
+
+using namespace sisd;
+using linalg::Matrix;
+using linalg::Vector;
+using pattern::Extension;
+
+Matrix RandomSpd(random::Rng* rng, size_t d) {
+  Matrix a(d, d);
+  for (size_t r = 0; r < d; ++r) {
+    for (size_t c = 0; c < d; ++c) a(r, c) = rng->Gaussian();
+  }
+  Matrix spd = a.MatMul(a.Transposed());
+  for (size_t i = 0; i < d; ++i) spd(i, i) += double(d);
+  return spd;
+}
+
+model::BackgroundModel MakeModel(size_t n, size_t d, uint64_t seed) {
+  random::Rng rng(seed);
+  Result<model::BackgroundModel> model =
+      model::BackgroundModel::Create(n, rng.GaussianVector(d),
+                                     RandomSpd(&rng, d));
+  model.status().CheckOK();
+  return std::move(model).MoveValue();
+}
+
+Extension MiddleExtension(size_t n, size_t count) {
+  Extension ext(n);
+  for (size_t i = 0; i < count; ++i) ext.Insert(n / 4 + i);
+  return ext;
+}
+
+void BM_LocationUpdate(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 2000;
+  const Extension ext = MiddleExtension(n, 400);
+  random::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    model::BackgroundModel model = MakeModel(n, d, 2);
+    const Vector target = rng.GaussianVector(d);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.UpdateLocation(ext, target));
+  }
+}
+BENCHMARK(BM_LocationUpdate)->Arg(1)->Arg(5)->Arg(16)->Arg(64)->Arg(124);
+
+void BM_SpreadUpdate(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 2000;
+  const Extension ext = MiddleExtension(n, 400);
+  random::Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    model::BackgroundModel model = MakeModel(n, d, 4);
+    const Vector w = rng.UnitSphere(d);
+    const Vector anchor = rng.GaussianVector(d);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model.UpdateSpread(ext, w, anchor, 0.5));
+  }
+}
+BENCHMARK(BM_SpreadUpdate)->Arg(1)->Arg(5)->Arg(16)->Arg(64)->Arg(124);
+
+void BM_SolveSpreadLambda(benchmark::State& state) {
+  const size_t groups = static_cast<size_t>(state.range(0));
+  std::vector<model::DirectionalTerm> terms;
+  random::Rng rng(5);
+  for (size_t g = 0; g < groups; ++g) {
+    terms.push_back({rng.Uniform(0.2, 3.0), rng.Gaussian(), 50});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::SolveSpreadLambda(terms, 0.7));
+  }
+}
+BENCHMARK(BM_SolveSpreadLambda)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LocationIcSingleGroupFastPath(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 2000;
+  model::BackgroundModel model = MakeModel(n, d, 6);
+  const Extension ext = MiddleExtension(n, 400);
+  random::Rng rng(7);
+  const Vector observed = rng.GaussianVector(d);
+  (void)si::LocationIC(model, ext, observed);  // warm the Cholesky cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(si::LocationIC(model, ext, observed));
+  }
+}
+BENCHMARK(BM_LocationIcSingleGroupFastPath)->Arg(5)->Arg(16)->Arg(124);
+
+void BM_LocationIcMixturePath(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 2000;
+  model::BackgroundModel model = MakeModel(n, d, 8);
+  random::Rng rng(9);
+  // Split the model so the probe straddles two groups (general path).
+  Extension half(n);
+  for (size_t i = 0; i < n / 2; ++i) half.Insert(i);
+  model.UpdateLocation(half, rng.GaussianVector(d)).status().CheckOK();
+  const Extension probe = MiddleExtension(n, 1200);
+  const Vector observed = rng.GaussianVector(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(si::LocationIC(model, probe, observed));
+  }
+}
+BENCHMARK(BM_LocationIcMixturePath)->Arg(5)->Arg(16)->Arg(124);
+
+void BM_RefitFromScratch(benchmark::State& state) {
+  const int num_patterns = static_cast<int>(state.range(0));
+  const size_t d = 16;
+  const size_t n = 1060;
+  random::Rng rng(10);
+  model::BackgroundModel initial = MakeModel(n, d, 11);
+  model::PatternAssimilator assimilator(initial);
+  for (int p = 0; p < num_patterns; ++p) {
+    Extension ext(n);
+    const size_t start = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 121));
+    for (size_t i = 0; i < 120; ++i) ext.Insert(start + i);
+    assimilator.AddLocationPattern(ext, rng.GaussianVector(d)).CheckOK();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assimilator.RefitFromScratch(100, 1e-9));
+  }
+}
+BENCHMARK(BM_RefitFromScratch)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SpreadIc(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 2000;
+  model::BackgroundModel model = MakeModel(n, d, 12);
+  const Extension ext = MiddleExtension(n, 400);
+  random::Rng rng(13);
+  const Vector w = rng.UnitSphere(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(si::SpreadIC(model, ext, w, 0.8));
+  }
+}
+BENCHMARK(BM_SpreadIc)->Arg(5)->Arg(16)->Arg(124);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Microbenchmarks (google-benchmark) of the search machinery: extension
+// intersection throughput, condition-pool construction, SI quality
+// evaluation, one full beam-search iteration, and the sphere optimizer.
+
+#include <benchmark/benchmark.h>
+
+#include "core/miner.hpp"
+#include "datagen/crime.hpp"
+#include "datagen/synthetic.hpp"
+#include "optimize/sphere_optimizer.hpp"
+#include "random/rng.hpp"
+#include "search/beam_search.hpp"
+#include "search/condition_pool.hpp"
+
+namespace {
+
+using namespace sisd;
+
+void BM_ExtensionIntersection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  random::Rng rng(1);
+  pattern::Extension a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) a.Insert(i);
+    if (rng.Bernoulli(0.3)) b.Insert(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern::Extension::IntersectionCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(n));
+}
+BENCHMARK(BM_ExtensionIntersection)->Arg(620)->Arg(2220)->Arg(100000);
+
+void BM_ConditionPoolBuild(benchmark::State& state) {
+  const datagen::CrimeData data = datagen::MakeCrimeLike();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search::ConditionPool::Build(data.dataset.descriptions, 4));
+  }
+}
+BENCHMARK(BM_ConditionPoolBuild);
+
+void BM_SiQualityEvaluation(benchmark::State& state) {
+  const datagen::CrimeData data = datagen::MakeCrimeLike();
+  Result<model::BackgroundModel> model =
+      model::BackgroundModel::CreateFromData(data.dataset.targets);
+  model.status().CheckOK();
+  const si::DescriptionLengthParams dl;
+  const pattern::Extension ext = data.truth.hot_rows;
+  const pattern::Intention intention(
+      {pattern::Condition::GreaterEqual(0, 0.39)});
+  for (auto _ : state) {
+    const linalg::Vector mean =
+        pattern::SubgroupMean(data.dataset.targets, ext);
+    benchmark::DoNotOptimize(
+        si::ScoreLocation(model.Value(), ext, mean, intention.size(), dl));
+  }
+}
+BENCHMARK(BM_SiQualityEvaluation);
+
+void BM_BeamSearchSyntheticFull(benchmark::State& state) {
+  const datagen::SyntheticData data = datagen::MakeSyntheticEmbedded();
+  Result<model::BackgroundModel> model =
+      model::BackgroundModel::CreateFromData(data.dataset.targets);
+  model.status().CheckOK();
+  const search::ConditionPool pool =
+      search::ConditionPool::Build(data.dataset.descriptions, 4);
+  search::SearchConfig config;
+  config.min_coverage = 5;
+  const si::DescriptionLengthParams dl;
+  const search::QualityFunction quality =
+      [&](const pattern::Intention& intention,
+          const pattern::Extension& ext) {
+        const linalg::Vector mean =
+            pattern::SubgroupMean(data.dataset.targets, ext);
+        return si::ScoreLocation(model.Value(), ext, mean, intention.size(),
+                                 dl)
+            .si;
+      };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search::BeamSearch(data.dataset.descriptions, pool, config, quality));
+  }
+}
+BENCHMARK(BM_BeamSearchSyntheticFull)->Unit(benchmark::kMillisecond);
+
+void BM_BeamSearchCrimeDepth2(benchmark::State& state) {
+  const datagen::CrimeData data = datagen::MakeCrimeLike();
+  Result<model::BackgroundModel> model =
+      model::BackgroundModel::CreateFromData(data.dataset.targets);
+  model.status().CheckOK();
+  const search::ConditionPool pool =
+      search::ConditionPool::Build(data.dataset.descriptions, 4);
+  search::SearchConfig config;
+  config.max_depth = 2;
+  config.beam_width = static_cast<int>(state.range(0));
+  config.min_coverage = 20;
+  const si::DescriptionLengthParams dl;
+  const search::QualityFunction quality =
+      [&](const pattern::Intention& intention,
+          const pattern::Extension& ext) {
+        const linalg::Vector mean =
+            pattern::SubgroupMean(data.dataset.targets, ext);
+        return si::ScoreLocation(model.Value(), ext, mean, intention.size(),
+                                 dl)
+            .si;
+      };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search::BeamSearch(data.dataset.descriptions, pool, config, quality));
+  }
+}
+BENCHMARK(BM_BeamSearchCrimeDepth2)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SphereOptimizer(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 500;
+  random::Rng rng(2);
+  Result<model::BackgroundModel> model = model::BackgroundModel::Create(
+      n, linalg::Vector(d), linalg::Matrix::Identity(d));
+  model.status().CheckOK();
+  linalg::Matrix y(n, d);
+  for (size_t i = 0; i < n; ++i) y.SetRow(i, rng.GaussianVector(d));
+  pattern::Extension ext(n);
+  for (size_t i = 0; i < 200; ++i) ext.Insert(i);
+  optimize::SpreadObjective objective(model.Value(), ext, y);
+  optimize::SphereOptimizerConfig config;
+  config.num_random_starts = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize::MaximizeOnSphere(objective, config));
+  }
+}
+BENCHMARK(BM_SphereOptimizer)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PairSweep(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 412;
+  random::Rng rng(3);
+  Result<model::BackgroundModel> model = model::BackgroundModel::Create(
+      n, linalg::Vector(d), linalg::Matrix::Identity(d));
+  model.status().CheckOK();
+  linalg::Matrix y(n, d);
+  for (size_t i = 0; i < n; ++i) y.SetRow(i, rng.GaussianVector(d));
+  pattern::Extension ext(n);
+  for (size_t i = 0; i < 100; ++i) ext.Insert(i);
+  optimize::SpreadObjective objective(model.Value(), ext, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize::MaximizePairSparse(objective, nullptr));
+  }
+}
+BENCHMARK(BM_PairSweep)->Arg(5)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// The European mammals case study (§III-B, Figs. 4-6): 124 binary species
+// targets over 2220 grid cells, described by 67 climate indicators.
+//
+// Demonstrates (a) high-dimensional targets, (b) iterative location-only
+// mining (spread patterns are uninformative for binary targets — the
+// variance of a Bernoulli variable is determined by its mean, as the paper
+// notes), and (c) ranking individual target attributes by their
+// single-attribute SI to explain what makes a pattern interesting (the
+// paper's Fig. 5 species ranking).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "datagen/mammals.hpp"
+#include "si/interestingness.hpp"
+
+namespace {
+
+/// Per-species surprise: SI of the pattern restricted to one target
+/// (used to rank species for the Fig. 5-style explanation).
+struct SpeciesSurprise {
+  size_t species;
+  double deviation;  ///< standardized deviation from the model expectation
+};
+
+}  // namespace
+
+int main() {
+  using namespace sisd;
+
+  const datagen::MammalsData data = datagen::MakeMammalsLike();
+  std::printf("dataset: %s (n=%zu cells, %zu climate attrs, %zu species)\n\n",
+              data.dataset.name.c_str(), data.dataset.num_rows(),
+              data.dataset.num_descriptions(), data.dataset.num_targets());
+
+  core::MinerConfig config;
+  config.mix = core::PatternMix::kLocationOnly;
+  config.search.max_depth = 2;     // paper's mammal patterns have <= 2 conds
+  config.search.beam_width = 16;   // keep the 124-dim search brisk
+  config.search.min_coverage = 50;
+
+  Result<core::IterativeMiner> miner =
+      core::IterativeMiner::Create(data.dataset, config);
+  miner.status().CheckOK();
+
+  for (int iteration = 1; iteration <= 3; ++iteration) {
+    // Snapshot the belief state BEFORE mining: the surprise ranking below
+    // must be measured against what the user believed at discovery time
+    // (after assimilation the expectation equals the observation).
+    const model::BackgroundModel before = miner.Value().model();
+    Result<core::IterationResult> result = miner.Value().MineNext();
+    result.status().CheckOK();
+    const core::ScoredLocationPattern& top = result.Value().location;
+    std::printf("--- iteration %d ---\n", iteration);
+    std::printf("pattern: %s\n",
+                top.pattern.subgroup.intention
+                    .ToString(data.dataset.descriptions)
+                    .c_str());
+    std::printf("  n=%zu cells, IC=%.1f, SI=%.2f\n",
+                top.pattern.subgroup.Coverage(), top.score.ic, top.score.si);
+
+    // Fig. 5-style explanation: which species' presence rates deviate most
+    // from the (previous) model expectation inside this subgroup? Rank by
+    // the absolute standardized deviation of the subgroup mean.
+    const auto& ext = top.pattern.subgroup.extension;
+    std::vector<SpeciesSurprise> surprises;
+    const auto marginal = before.MeanStatMarginal(ext);
+    for (size_t s = 0; s < data.dataset.num_targets(); ++s) {
+      const double sd = std::sqrt(marginal.cov(s, s));
+      const double dev =
+          std::fabs(top.pattern.mean[s] - marginal.mean[s]) /
+          (sd > 1e-12 ? sd : 1e-12);
+      surprises.push_back({s, dev});
+    }
+    std::sort(surprises.begin(), surprises.end(),
+              [](const SpeciesSurprise& a, const SpeciesSurprise& b) {
+                return a.deviation > b.deviation;
+              });
+    std::printf("  most surprising species (observed rate in subgroup):\n");
+    for (int r = 0; r < 5; ++r) {
+      const size_t s = surprises[static_cast<size_t>(r)].species;
+      std::printf("    %-28s rate %.2f (expected %.2f)\n",
+                  data.dataset.target_names[s].c_str(), top.pattern.mean[s],
+                  marginal.mean[s]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference: iteration-1 pattern 'mean temperature in March <=\n"
+      "-1.68C' (northern Europe + Alps); top species wood mouse (absent),\n"
+      "mountain hare and moose (present).\n");
+  return 0;
+}

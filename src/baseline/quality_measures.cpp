@@ -1,0 +1,93 @@
+#include "baseline/quality_measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace sisd::baseline {
+
+namespace {
+
+std::vector<double> TargetValues(const linalg::Matrix& y, size_t target,
+                                 const pattern::Extension& extension) {
+  std::vector<double> values;
+  values.reserve(extension.count());
+  for (size_t i : extension.ToRows()) values.push_back(y(i, target));
+  return values;
+}
+
+}  // namespace
+
+TargetSummary TargetSummary::Compute(const linalg::Matrix& y, size_t target) {
+  SISD_CHECK(target < y.cols());
+  TargetSummary out;
+  stats::RunningStats rs;
+  std::vector<double> values;
+  values.reserve(y.rows());
+  for (size_t i = 0; i < y.rows(); ++i) {
+    rs.Add(y(i, target));
+    values.push_back(y(i, target));
+  }
+  out.mean = rs.Mean();
+  out.stddev = rs.StdDevPopulation();
+  out.median = stats::Quantile(values, 0.5);
+  out.n = y.rows();
+  return out;
+}
+
+double ZScoreQuality(const linalg::Matrix& y, size_t target,
+                     const TargetSummary& summary,
+                     const pattern::Extension& extension) {
+  SISD_CHECK(!extension.empty());
+  if (summary.stddev <= 0.0) return 0.0;
+  double mean_i = 0.0;
+  for (size_t i : extension.ToRows()) mean_i += y(i, target);
+  mean_i /= double(extension.count());
+  return std::sqrt(double(extension.count())) *
+         std::fabs(mean_i - summary.mean) / summary.stddev;
+}
+
+double WraccQuality(const linalg::Matrix& y, size_t target,
+                    const TargetSummary& summary,
+                    const pattern::Extension& extension) {
+  SISD_CHECK(!extension.empty());
+  double mean_i = 0.0;
+  for (size_t i : extension.ToRows()) mean_i += y(i, target);
+  mean_i /= double(extension.count());
+  return (double(extension.count()) / double(summary.n)) *
+         (mean_i - summary.mean);
+}
+
+double DispersionCorrectedQuality(const linalg::Matrix& y, size_t target,
+                                  const TargetSummary& summary,
+                                  const pattern::Extension& extension) {
+  SISD_CHECK(!extension.empty());
+  std::vector<double> values = TargetValues(y, target, extension);
+  const double median_i = stats::Quantile(values, 0.5);
+  double amd = 0.0;
+  for (double v : values) amd += std::fabs(v - median_i);
+  amd /= double(values.size());
+  return std::sqrt(double(values.size())) *
+         std::fabs(median_i - summary.median) / (1.0 + amd);
+}
+
+search::QualityFunction MakeBaselineQuality(const linalg::Matrix& y,
+                                            size_t target,
+                                            BaselineMeasure measure) {
+  const TargetSummary summary = TargetSummary::Compute(y, target);
+  return [&y, target, summary, measure](const pattern::Intention&,
+                                        const pattern::Extension& extension) {
+    switch (measure) {
+      case BaselineMeasure::kZScore:
+        return ZScoreQuality(y, target, summary, extension);
+      case BaselineMeasure::kWracc:
+        return std::fabs(WraccQuality(y, target, summary, extension));
+      case BaselineMeasure::kDispersionCorrected:
+        return DispersionCorrectedQuality(y, target, summary, extension);
+    }
+    return 0.0;
+  };
+}
+
+}  // namespace sisd::baseline

@@ -1,0 +1,60 @@
+/// \file quality_measures.hpp
+/// \brief Classical subgroup-discovery quality measures used as baselines.
+///
+/// The paper contrasts its subjective measure against objective ones only
+/// qualitatively (Related Work: WRAcc-based significance, Boley et al.'s
+/// dispersion-corrected scores). For the Fig. 3 baseline and the ablation
+/// benches we implement the standard single-target measures; all work on a
+/// designated target column of the target matrix.
+
+#ifndef SISD_BASELINE_QUALITY_MEASURES_HPP_
+#define SISD_BASELINE_QUALITY_MEASURES_HPP_
+
+#include "linalg/matrix.hpp"
+#include "pattern/extension.hpp"
+#include "search/beam_search.hpp"
+
+namespace sisd::baseline {
+
+/// \brief Summary of the full data needed by the objective measures.
+struct TargetSummary {
+  double mean = 0.0;
+  double stddev = 0.0;    ///< population
+  double median = 0.0;
+  size_t n = 0;
+
+  /// Computes the summary for column `target` of `y`.
+  static TargetSummary Compute(const linalg::Matrix& y, size_t target);
+};
+
+/// \brief z-score of the subgroup mean: `sqrt(|I|) * |mean_I - mean| / sd`.
+/// The classical mean-shift test statistic.
+double ZScoreQuality(const linalg::Matrix& y, size_t target,
+                     const TargetSummary& summary,
+                     const pattern::Extension& extension);
+
+/// \brief Continuous WRAcc (a.k.a. impact): `(|I|/n) * (mean_I - mean)`.
+/// Positive version; use `fabs` for two-sided search.
+double WraccQuality(const linalg::Matrix& y, size_t target,
+                    const TargetSummary& summary,
+                    const pattern::Extension& extension);
+
+/// \brief Dispersion-corrected quality in the spirit of Boley et al. (2017):
+/// `sqrt(|I|) * |median_I - median| / (1 + AMD_I)` where `AMD_I` is the
+/// subgroup's mean absolute deviation around its median. Rewards subgroups
+/// that are both displaced and tight.
+double DispersionCorrectedQuality(const linalg::Matrix& y, size_t target,
+                                  const TargetSummary& summary,
+                                  const pattern::Extension& extension);
+
+/// \brief Wraps a baseline measure as a beam-search QualityFunction
+/// (two-sided: absolute value of the measure).
+enum class BaselineMeasure { kZScore, kWracc, kDispersionCorrected };
+
+search::QualityFunction MakeBaselineQuality(const linalg::Matrix& y,
+                                            size_t target,
+                                            BaselineMeasure measure);
+
+}  // namespace sisd::baseline
+
+#endif  // SISD_BASELINE_QUALITY_MEASURES_HPP_

@@ -1,0 +1,52 @@
+#include "common/status.hpp"
+
+namespace sisd {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNumericalError:
+      return "NumericalError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "InvalidCode";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::CheckOK() const {
+  if (!ok()) {
+    std::fprintf(stderr, "Status not OK: %s\n", ToString().c_str());
+    std::abort();
+  }
+}
+
+namespace internal {
+
+void DieCheckFailed(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "SISD_CHECK failed at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace sisd

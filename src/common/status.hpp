@@ -1,0 +1,206 @@
+/// \file status.hpp
+/// \brief Status / Result<T> error handling primitives.
+///
+/// The library does not throw exceptions (Google C++ style). Fallible
+/// operations return either a `Status` (void-like operations) or a
+/// `Result<T>` (operations producing a value), following the idiom used by
+/// Apache Arrow (`arrow::Status` / `arrow::Result`) and RocksDB
+/// (`rocksdb::Status`). Hot-path numeric code uses plain values plus
+/// `SISD_DCHECK` assertions instead.
+
+#ifndef SISD_COMMON_STATUS_HPP_
+#define SISD_COMMON_STATUS_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sisd {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed something malformed
+  kOutOfRange = 2,        ///< index or domain violation
+  kNotFound = 3,          ///< named entity does not exist
+  kAlreadyExists = 4,     ///< name collision on insert
+  kIOError = 5,           ///< filesystem / parsing failure
+  kNumericalError = 6,    ///< non-SPD matrix, divergence, NaN, ...
+  kNotImplemented = 7,    ///< feature intentionally absent
+  kUnknown = 8,           ///< anything else
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Cheap value-type carrying success or an error code + message.
+///
+/// An OK status carries no allocation. Statuses are immutable once built.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Named constructors, one per code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  /// @}
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message ("" for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message unless `ok()`.
+  void CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status. Arrow-style.
+///
+/// Typical use:
+/// \code
+///   Result<DataTable> table = CsvReader::ReadFile(path);
+///   if (!table.ok()) return table.status();
+///   Use(table.Value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit on purpose, mirroring Arrow).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Unknown("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Returns the value; must only be called when `ok()`.
+  const T& Value() const& {
+    DieIfError();
+    return *value_;
+  }
+
+  /// Returns the value; must only be called when `ok()`.
+  T& Value() & {
+    DieIfError();
+    return *value_;
+  }
+
+  /// Moves the value out; must only be called when `ok()`.
+  T&& MoveValue() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or aborts with the error message (Arrow idiom).
+  const T& ValueOrDie() const& { return Value(); }
+
+  /// Returns the contained value, or `fallback` if this is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::Value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+/// \brief Propagates a non-OK Status from expression `expr` to the caller.
+#define SISD_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::sisd::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// \brief Assigns the value of a Result expression or returns its Status.
+#define SISD_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto lhs##_result = (rexpr);                  \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto lhs = std::move(lhs##_result).MoveValue()
+
+namespace internal {
+/// Aborts the process printing `msg` with source location.
+[[noreturn]] void DieCheckFailed(const char* file, int line, const char* msg);
+}  // namespace internal
+
+/// \brief Always-on invariant check; aborts on failure.
+#define SISD_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::sisd::internal::DieCheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                                 \
+  } while (false)
+
+/// \brief Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SISD_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define SISD_DCHECK(cond) SISD_CHECK(cond)
+#endif
+
+}  // namespace sisd
+
+#endif  // SISD_COMMON_STATUS_HPP_

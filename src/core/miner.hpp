@@ -1,0 +1,156 @@
+/// \file miner.hpp
+/// \brief The public facade: iterative subjectively-interesting subgroup
+/// discovery on real-valued targets.
+///
+/// One `IterativeMiner` owns a dataset, the evolving background model and
+/// the search machinery. Each call to `MineNext()` performs one iteration of
+/// the paper's loop:
+///   1. beam search for the location pattern maximizing SI (Eq. 14);
+///   2. assimilate the location pattern into the background model (Thm. 1);
+///   3. optionally find the most interesting spread direction for that
+///      subgroup (Eq. 21, sphere gradient ascent or 2-sparse pair sweep)
+///      and assimilate the spread pattern (Thm. 2);
+///   4. return everything found, leaving the model ready for the next
+///      iteration (non-redundancy falls out of the updated model).
+
+#ifndef SISD_CORE_MINER_HPP_
+#define SISD_CORE_MINER_HPP_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/table.hpp"
+#include "model/assimilator.hpp"
+#include "model/background_model.hpp"
+#include "optimize/sphere_optimizer.hpp"
+#include "pattern/patterns.hpp"
+#include "search/beam_search.hpp"
+#include "search/condition_pool.hpp"
+#include "si/interestingness.hpp"
+
+namespace sisd::core {
+
+/// \brief Which pattern types an iteration should produce.
+enum class PatternMix {
+  kLocationOnly,       ///< location pattern per iteration (e.g. mammals §III-B)
+  kLocationAndSpread,  ///< location + spread per iteration (§III-A, C, D)
+};
+
+/// \brief Everything configurable about the miner. Defaults reproduce the
+/// paper's settings (§III: beam width 40, depth 4, 4 split points, top-150,
+/// gamma = 0.1, eta = 1).
+struct MinerConfig {
+  search::SearchConfig search;
+  si::DescriptionLengthParams dl;
+  PatternMix mix = PatternMix::kLocationAndSpread;
+  /// 0 = dense spread direction; 2 = the §III-C pair sweep (2-sparse w).
+  int spread_sparsity = 0;
+  optimize::SphereOptimizerConfig spread_optimizer;
+  /// Prior mean/covariance; empty -> empirical values (the paper's setup).
+  std::optional<linalg::Vector> prior_mean;
+  std::optional<linalg::Matrix> prior_covariance;
+  /// Ridge added to an empirical prior covariance (keeps it SPD).
+  double prior_ridge = 1e-8;
+};
+
+/// \brief A fully scored location pattern.
+struct ScoredLocationPattern {
+  pattern::LocationPattern pattern;
+  si::LocationScore score;
+
+  /// Renders e.g. "a3 = '1' (n=40, SI=48.35)".
+  std::string Describe(const data::DataTable& table) const;
+};
+
+/// \brief A fully scored spread pattern.
+struct ScoredSpreadPattern {
+  pattern::SpreadPattern pattern;
+  si::SpreadScore score;
+
+  std::string Describe(const data::DataTable& table) const;
+};
+
+/// \brief Output of one mining iteration.
+struct IterationResult {
+  ScoredLocationPattern location;
+  std::optional<ScoredSpreadPattern> spread;
+  /// The full ranked list from the beam search (top-k subgroups by SI),
+  /// useful for Table-I-style inspection.
+  std::vector<ScoredLocationPattern> ranked;
+  /// Search diagnostics.
+  size_t candidates_evaluated = 0;
+  bool hit_time_budget = false;
+};
+
+/// \brief Iterative subjectively-interesting subgroup miner.
+class IterativeMiner {
+ public:
+  /// Builds a miner over `dataset` (kept by reference; must outlive the
+  /// miner). Fails when the dataset is inconsistent or the prior covariance
+  /// is not SPD.
+  static Result<IterativeMiner> Create(const data::Dataset& dataset,
+                                       MinerConfig config);
+
+  /// Runs one mining iteration and assimilates what it finds.
+  Result<IterationResult> MineNext();
+
+  /// Runs `count` iterations, stopping early on search failure.
+  Result<std::vector<IterationResult>> MineIterations(int count);
+
+  /// The current background model.
+  const model::BackgroundModel& model() const {
+    return assimilator_.model();
+  }
+
+  /// The assimilator (constraint registry), e.g. for refit timing studies.
+  model::PatternAssimilator* mutable_assimilator() { return &assimilator_; }
+
+  /// Scores an arbitrary intention as a location pattern under the *current*
+  /// model (used to track SI of earlier patterns across iterations, as in
+  /// Table I). Fails on empty extensions.
+  Result<ScoredLocationPattern> ScoreIntention(
+      const pattern::Intention& intention) const;
+
+  /// Scores a spread pattern (direction `w`) for an arbitrary intention
+  /// under the current model.
+  Result<ScoredSpreadPattern> ScoreSpreadForIntention(
+      const pattern::Intention& intention, const linalg::Vector& w) const;
+
+  /// Finds the best spread direction for a given subgroup under the current
+  /// model (without assimilating anything).
+  Result<ScoredSpreadPattern> FindSpreadPattern(
+      const pattern::Subgroup& subgroup) const;
+
+  /// The dataset being mined.
+  const data::Dataset& dataset() const { return *dataset_; }
+
+  /// The condition pool (for diagnostics and ablation benches).
+  const search::ConditionPool& condition_pool() const { return pool_; }
+
+  /// History of all iterations run so far.
+  const std::vector<IterationResult>& history() const { return history_; }
+
+ private:
+  IterativeMiner(const data::Dataset* dataset, MinerConfig config,
+                 search::ConditionPool pool,
+                 model::PatternAssimilator assimilator)
+      : dataset_(dataset),
+        config_(std::move(config)),
+        pool_(std::move(pool)),
+        assimilator_(std::move(assimilator)) {}
+
+  /// The SI quality function bound to the current model.
+  search::QualityFunction MakeLocationQuality() const;
+
+  const data::Dataset* dataset_;
+  MinerConfig config_;
+  search::ConditionPool pool_;
+  model::PatternAssimilator assimilator_;
+  std::vector<IterationResult> history_;
+};
+
+}  // namespace sisd::core
+
+#endif  // SISD_CORE_MINER_HPP_

@@ -1,0 +1,88 @@
+#include "data/column.hpp"
+
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace sisd::data {
+
+const char* AttributeKindToString(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kNumeric:
+      return "numeric";
+    case AttributeKind::kOrdinal:
+      return "ordinal";
+    case AttributeKind::kCategorical:
+      return "categorical";
+    case AttributeKind::kBinary:
+      return "binary";
+  }
+  return "invalid";
+}
+
+bool IsOrderable(AttributeKind kind) {
+  return kind == AttributeKind::kNumeric || kind == AttributeKind::kOrdinal;
+}
+
+Column Column::Numeric(std::string name, std::vector<double> values) {
+  Column col(std::move(name), AttributeKind::kNumeric);
+  col.numeric_ = std::move(values);
+  return col;
+}
+
+Column Column::Ordinal(std::string name, std::vector<double> values) {
+  Column col(std::move(name), AttributeKind::kOrdinal);
+  col.numeric_ = std::move(values);
+  return col;
+}
+
+Column Column::Categorical(std::string name, std::vector<int32_t> codes,
+                           std::vector<std::string> labels) {
+  for (int32_t code : codes) {
+    SISD_CHECK(code >= 0 && static_cast<size_t>(code) < labels.size());
+  }
+  Column col(std::move(name), AttributeKind::kCategorical);
+  col.codes_ = std::move(codes);
+  col.labels_ = std::move(labels);
+  return col;
+}
+
+Column Column::CategoricalFromStrings(std::string name,
+                                      const std::vector<std::string>& values) {
+  std::vector<int32_t> codes;
+  codes.reserve(values.size());
+  std::vector<std::string> labels;
+  std::unordered_map<std::string, int32_t> code_of;
+  for (const std::string& v : values) {
+    auto it = code_of.find(v);
+    if (it == code_of.end()) {
+      const int32_t code = static_cast<int32_t>(labels.size());
+      labels.push_back(v);
+      code_of.emplace(v, code);
+      codes.push_back(code);
+    } else {
+      codes.push_back(it->second);
+    }
+  }
+  return Categorical(std::move(name), std::move(codes), std::move(labels));
+}
+
+Column Column::Binary(std::string name, const std::vector<bool>& values,
+                      std::string label_false, std::string label_true) {
+  std::vector<int32_t> codes;
+  codes.reserve(values.size());
+  for (bool v : values) codes.push_back(v ? 1 : 0);
+  Column col(std::move(name), AttributeKind::kBinary);
+  col.codes_ = std::move(codes);
+  col.labels_ = {std::move(label_false), std::move(label_true)};
+  return col;
+}
+
+std::string Column::ValueToString(size_t i) const {
+  if (IsOrderable(kind_)) {
+    return StrFormat("%.6g", NumericValue(i));
+  }
+  return Label(Code(i));
+}
+
+}  // namespace sisd::data

@@ -1,0 +1,136 @@
+/// \file column.hpp
+/// \brief Typed data columns for description attributes.
+///
+/// The paper's method handles "categorical, ordinal, and numerical
+/// description attributes" (§I). We store them as:
+///  - Numeric / Ordinal: doubles (ordinal keeps ordered semantics so the
+///    search layer emits `<=` / `>=` conditions, e.g. the water-quality
+///    bioindicator levels 0/1/3/5);
+///  - Categorical / Binary: small integer codes plus a label table (the
+///    search layer emits equality conditions).
+
+#ifndef SISD_DATA_COLUMN_HPP_
+#define SISD_DATA_COLUMN_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sisd::data {
+
+/// \brief Semantic type of a description attribute.
+enum class AttributeKind {
+  kNumeric,      ///< real-valued; interval conditions
+  kOrdinal,      ///< ordered discrete; interval conditions
+  kCategorical,  ///< unordered discrete; equality conditions
+  kBinary,       ///< two-level categorical; equality conditions
+};
+
+/// \brief Human-readable name of an attribute kind.
+const char* AttributeKindToString(AttributeKind kind);
+
+/// \brief True for kinds on which interval (`<=`/`>=`) conditions make sense.
+bool IsOrderable(AttributeKind kind);
+
+/// \brief One named, typed column of `n` values.
+///
+/// Numeric/ordinal columns store doubles; categorical/binary columns store
+/// integer codes into a label table. Construct via the named factories.
+class Column {
+ public:
+  /// Numeric column from raw values.
+  static Column Numeric(std::string name, std::vector<double> values);
+
+  /// Ordinal column (ordered discrete values stored as doubles).
+  static Column Ordinal(std::string name, std::vector<double> values);
+
+  /// Categorical column from codes and a label table.
+  /// Every code must index into `labels`.
+  static Column Categorical(std::string name, std::vector<int32_t> codes,
+                            std::vector<std::string> labels);
+
+  /// Categorical column from string values (labels assigned in order of
+  /// first appearance).
+  static Column CategoricalFromStrings(std::string name,
+                                       const std::vector<std::string>& values);
+
+  /// Binary column from bool values; labels default to "0"/"1".
+  static Column Binary(std::string name, const std::vector<bool>& values,
+                       std::string label_false = "0",
+                       std::string label_true = "1");
+
+  /// Attribute name.
+  const std::string& name() const { return name_; }
+
+  /// Attribute kind.
+  AttributeKind kind() const { return kind_; }
+
+  /// Number of rows.
+  size_t size() const {
+    return IsOrderable(kind_) ? numeric_.size() : codes_.size();
+  }
+
+  /// Numeric value at row `i` (numeric/ordinal columns only).
+  double NumericValue(size_t i) const {
+    SISD_DCHECK(IsOrderable(kind_));
+    SISD_DCHECK(i < numeric_.size());
+    return numeric_[i];
+  }
+
+  /// Code at row `i` (categorical/binary columns only).
+  int32_t Code(size_t i) const {
+    SISD_DCHECK(!IsOrderable(kind_));
+    SISD_DCHECK(i < codes_.size());
+    return codes_[i];
+  }
+
+  /// Number of distinct levels (categorical/binary columns only).
+  size_t NumLevels() const {
+    SISD_DCHECK(!IsOrderable(kind_));
+    return labels_.size();
+  }
+
+  /// Label of `code` (categorical/binary columns only).
+  const std::string& Label(int32_t code) const {
+    SISD_DCHECK(!IsOrderable(kind_));
+    SISD_DCHECK(code >= 0 && static_cast<size_t>(code) < labels_.size());
+    return labels_[static_cast<size_t>(code)];
+  }
+
+  /// All numeric values (numeric/ordinal columns only).
+  const std::vector<double>& numeric_values() const {
+    SISD_DCHECK(IsOrderable(kind_));
+    return numeric_;
+  }
+
+  /// All codes (categorical/binary columns only).
+  const std::vector<int32_t>& codes() const {
+    SISD_DCHECK(!IsOrderable(kind_));
+    return codes_;
+  }
+
+  /// Label table (categorical/binary columns only).
+  const std::vector<std::string>& labels() const {
+    SISD_DCHECK(!IsOrderable(kind_));
+    return labels_;
+  }
+
+  /// Renders the value at row `i` as a string regardless of kind.
+  std::string ValueToString(size_t i) const;
+
+ private:
+  Column(std::string name, AttributeKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  std::string name_;
+  AttributeKind kind_;
+  std::vector<double> numeric_;       // numeric / ordinal
+  std::vector<int32_t> codes_;        // categorical / binary
+  std::vector<std::string> labels_;   // categorical / binary
+};
+
+}  // namespace sisd::data
+
+#endif  // SISD_DATA_COLUMN_HPP_

@@ -1,0 +1,289 @@
+#include "data/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace sisd::data {
+
+namespace {
+
+/// Splits one CSV record honoring double-quote escaping.
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == sep) {
+        fields.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::IOError("unterminated quoted field");
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+bool IsMissing(const std::string& value, const CsvOptions& options) {
+  const std::string trimmed(TrimWhitespace(value));
+  for (const std::string& na : options.na_values) {
+    if (trimmed == na) return true;
+  }
+  return false;
+}
+
+std::string EscapeCsvField(const std::string& field, char sep) {
+  const bool needs_quotes =
+      field.find(sep) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<DataTable> ReadCsvText(const std::string& text,
+                              const CsvOptions& options) {
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    for (char c : text) {
+      if (c == '\n') {
+        if (!current.empty() && current.back() == '\r') current.pop_back();
+        lines.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) lines.push_back(current);
+  }
+  // Drop fully blank trailing lines.
+  while (!lines.empty() && TrimWhitespace(lines.back()).empty()) {
+    lines.pop_back();
+  }
+  if (lines.empty()) return Status::IOError("empty CSV input");
+
+  size_t first_data_row = 0;
+  std::vector<std::string> header;
+  {
+    SISD_ASSIGN_OR_RETURN(first_record,
+                          SplitCsvRecord(lines[0], options.separator));
+    if (options.has_header) {
+      header = first_record;
+      first_data_row = 1;
+    } else {
+      header.reserve(first_record.size());
+      for (size_t j = 0; j < first_record.size(); ++j) {
+        header.push_back(StrFormat("col%zu", j));
+      }
+    }
+  }
+  const size_t num_cols = header.size();
+
+  std::vector<std::vector<std::string>> cells(num_cols);
+  for (size_t li = first_data_row; li < lines.size(); ++li) {
+    if (TrimWhitespace(lines[li]).empty()) continue;
+    SISD_ASSIGN_OR_RETURN(record,
+                          SplitCsvRecord(lines[li], options.separator));
+    if (record.size() != num_cols) {
+      return Status::IOError(
+          StrFormat("line %zu has %zu fields, expected %zu", li + 1,
+                    record.size(), num_cols));
+    }
+    bool any_missing = false;
+    for (const std::string& field : record) {
+      if (IsMissing(field, options)) {
+        any_missing = true;
+        break;
+      }
+    }
+    if (any_missing) continue;  // complete-case analysis
+    for (size_t j = 0; j < num_cols; ++j) {
+      cells[j].push_back(record[j]);
+    }
+  }
+  if (cells.empty() || cells[0].empty()) {
+    return Status::IOError("CSV has no complete data rows");
+  }
+
+  DataTable table;
+  for (size_t j = 0; j < num_cols; ++j) {
+    const std::string& name = header[j];
+    // Determine kind: override > inference.
+    AttributeKind kind;
+    auto override_it = options.kind_overrides.find(name);
+    bool overridden = override_it != options.kind_overrides.end();
+    std::vector<double> numeric;
+    numeric.reserve(cells[j].size());
+    bool all_numeric = true;
+    std::set<double> distinct;
+    for (const std::string& cell : cells[j]) {
+      std::optional<double> value = ParseDouble(cell);
+      if (!value.has_value()) {
+        all_numeric = false;
+        break;
+      }
+      numeric.push_back(*value);
+      if (distinct.size() <= 2) distinct.insert(*value);
+    }
+    if (overridden) {
+      kind = override_it->second;
+      if (IsOrderable(kind) && !all_numeric) {
+        return Status::InvalidArgument(StrFormat(
+            "column '%s' declared %s but has non-numeric values",
+            name.c_str(), AttributeKindToString(kind)));
+      }
+    } else if (all_numeric) {
+      const bool binary01 =
+          distinct.size() <= 2 &&
+          std::all_of(distinct.begin(), distinct.end(),
+                      [](double v) { return v == 0.0 || v == 1.0; });
+      kind = binary01 ? AttributeKind::kBinary : AttributeKind::kNumeric;
+    } else {
+      kind = AttributeKind::kCategorical;
+    }
+
+    Status add_status;
+    switch (kind) {
+      case AttributeKind::kNumeric:
+        add_status = table.AddColumn(Column::Numeric(name, std::move(numeric)));
+        break;
+      case AttributeKind::kOrdinal:
+        add_status = table.AddColumn(Column::Ordinal(name, std::move(numeric)));
+        break;
+      case AttributeKind::kBinary: {
+        std::vector<bool> bits;
+        if (all_numeric) {
+          bits.reserve(numeric.size());
+          for (double v : numeric) bits.push_back(v != 0.0);
+        } else {
+          return Status::InvalidArgument(StrFormat(
+              "column '%s' declared binary but has non-numeric values",
+              name.c_str()));
+        }
+        add_status = table.AddColumn(Column::Binary(name, bits));
+        break;
+      }
+      case AttributeKind::kCategorical:
+        add_status =
+            table.AddColumn(Column::CategoricalFromStrings(name, cells[j]));
+        break;
+    }
+    SISD_RETURN_NOT_OK(add_status);
+  }
+  return table;
+}
+
+Result<DataTable> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvText(buffer.str(), options);
+}
+
+std::string WriteCsvText(const DataTable& table, char separator) {
+  std::string out;
+  const std::vector<std::string> names = table.ColumnNames();
+  for (size_t j = 0; j < names.size(); ++j) {
+    if (j > 0) out += separator;
+    out += EscapeCsvField(names[j], separator);
+  }
+  out += '\n';
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < table.num_columns(); ++j) {
+      if (j > 0) out += separator;
+      out += EscapeCsvField(table.column(j).ValueToString(i), separator);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const DataTable& table, const std::string& path,
+                    char separator) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError(StrFormat("cannot open '%s' for writing",
+                                     path.c_str()));
+  }
+  out << WriteCsvText(table, separator);
+  if (!out) {
+    return Status::IOError(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> MakeDataset(const DataTable& table,
+                            const std::vector<std::string>& target_columns,
+                            std::string dataset_name) {
+  if (target_columns.empty()) {
+    return Status::InvalidArgument("need at least one target column");
+  }
+  std::set<std::string> target_set(target_columns.begin(),
+                                   target_columns.end());
+  if (target_set.size() != target_columns.size()) {
+    return Status::InvalidArgument("duplicate target column names");
+  }
+
+  Dataset dataset;
+  dataset.name = std::move(dataset_name);
+  dataset.target_names = target_columns;
+  dataset.targets =
+      linalg::Matrix(table.num_rows(), target_columns.size());
+  for (size_t t = 0; t < target_columns.size(); ++t) {
+    SISD_ASSIGN_OR_RETURN(col, table.ColumnByName(target_columns[t]));
+    if (!IsOrderable(col->kind())) {
+      return Status::InvalidArgument(
+          StrFormat("target column '%s' must be numeric",
+                    target_columns[t].c_str()));
+    }
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      dataset.targets(i, t) = col->NumericValue(i);
+    }
+  }
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    const Column& col = table.column(j);
+    if (target_set.count(col.name()) > 0) continue;
+    SISD_RETURN_NOT_OK(dataset.descriptions.AddColumn(col));
+  }
+  SISD_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace sisd::data

@@ -1,0 +1,64 @@
+/// \file csv.hpp
+/// \brief CSV reading/writing for DataTable and Dataset.
+///
+/// The reader supports quoted fields, type inference (numeric vs
+/// categorical; low-cardinality 0/1 columns become binary), and explicit
+/// per-column overrides. This is the "data handling boilerplate" the
+/// reproduction needs so users can point the miner at their own files.
+
+#ifndef SISD_DATA_CSV_HPP_
+#define SISD_DATA_CSV_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/table.hpp"
+
+namespace sisd::data {
+
+/// \brief Options controlling CSV parsing and type inference.
+struct CsvOptions {
+  char separator = ',';           ///< field separator
+  bool has_header = true;         ///< first row = column names
+  /// Maximum distinct values for a numeric-looking column to still be
+  /// classified as categorical when listed in `categorical_overrides`.
+  std::unordered_map<std::string, AttributeKind> kind_overrides;
+  /// Strings treated as missing values; rows containing missing fields in
+  /// any used column are dropped (the paper's datasets are complete; this
+  /// keeps the semantics simple and explicit).
+  std::vector<std::string> na_values = {"", "NA", "nan", "NaN", "?"};
+};
+
+/// \brief Parses CSV text into a DataTable.
+///
+/// Columns where every non-missing value parses as a double become numeric
+/// (or binary when the distinct values are exactly {0, 1}); everything else
+/// becomes categorical. `options.kind_overrides` wins when present.
+Result<DataTable> ReadCsvText(const std::string& text,
+                              const CsvOptions& options = CsvOptions());
+
+/// \brief Reads a CSV file into a DataTable.
+Result<DataTable> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options = CsvOptions());
+
+/// \brief Serializes a DataTable to CSV text (RFC-4180-style quoting).
+std::string WriteCsvText(const DataTable& table, char separator = ',');
+
+/// \brief Writes a DataTable to a CSV file.
+Status WriteCsvFile(const DataTable& table, const std::string& path,
+                    char separator = ',');
+
+/// \brief Splits a DataTable into a Dataset by naming the target columns.
+///
+/// Target columns must be numeric; they are removed from the description
+/// table and packed into the target matrix in the order given.
+Result<Dataset> MakeDataset(const DataTable& table,
+                            const std::vector<std::string>& target_columns,
+                            std::string dataset_name = "dataset");
+
+}  // namespace sisd::data
+
+#endif  // SISD_DATA_CSV_HPP_

@@ -1,0 +1,60 @@
+#include "data/table.hpp"
+
+#include "common/strings.hpp"
+
+namespace sisd::data {
+
+Status DataTable::AddColumn(Column column) {
+  if (index_of_.count(column.name()) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("column '%s' already exists", column.name().c_str()));
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' has %zu rows, table has %zu",
+                  column.name().c_str(), column.size(), num_rows()));
+  }
+  index_of_.emplace(column.name(), columns_.size());
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<size_t> DataTable::ColumnIndex(const std::string& name) const {
+  auto it = index_of_.find(name);
+  if (it == index_of_.end()) {
+    return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<const Column*> DataTable::ColumnByName(const std::string& name) const {
+  SISD_ASSIGN_OR_RETURN(idx, ColumnIndex(name));
+  return &columns_[idx];
+}
+
+std::vector<std::string> DataTable::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& col : columns_) names.push_back(col.name());
+  return names;
+}
+
+Status Dataset::Validate() const {
+  if (descriptions.num_columns() > 0 &&
+      descriptions.num_rows() != targets.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "descriptions have %zu rows but targets have %zu",
+        descriptions.num_rows(), targets.rows()));
+  }
+  if (target_names.size() != targets.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("%zu target names for %zu target columns",
+                  target_names.size(), targets.cols()));
+  }
+  if (!targets.AllFinite()) {
+    return Status::NumericalError("target matrix has non-finite entries");
+  }
+  return Status::OK();
+}
+
+}  // namespace sisd::data

@@ -1,0 +1,90 @@
+/// \file table.hpp
+/// \brief DataTable (named typed columns) and Dataset (descriptions +
+/// real-valued target matrix), the two data containers of the library.
+
+#ifndef SISD_DATA_TABLE_HPP_
+#define SISD_DATA_TABLE_HPP_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/column.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sisd::data {
+
+/// \brief A collection of equally sized named columns.
+class DataTable {
+ public:
+  DataTable() = default;
+
+  /// Appends a column. Fails if the name already exists or the length
+  /// disagrees with existing columns.
+  Status AddColumn(Column column);
+
+  /// Number of rows (0 when no columns).
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+
+  /// Number of columns.
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Column by position.
+  const Column& column(size_t j) const {
+    SISD_DCHECK(j < columns_.size());
+    return columns_[j];
+  }
+
+  /// Column index by name.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Column by name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// True iff a column with `name` exists.
+  bool HasColumn(const std::string& name) const {
+    return index_of_.count(name) > 0;
+  }
+
+  /// All column names in order.
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_of_;
+};
+
+/// \brief A mining problem instance: description attributes plus an
+/// `n x dy` matrix of real-valued targets.
+struct Dataset {
+  /// Description attributes, one column per attribute; `n` rows.
+  DataTable descriptions;
+
+  /// Real-valued targets, shape `n x dy`.
+  linalg::Matrix targets;
+
+  /// Names of the `dy` target attributes.
+  std::vector<std::string> target_names;
+
+  /// Friendly dataset name (used in bench output).
+  std::string name;
+
+  /// Number of data points.
+  size_t num_rows() const { return targets.rows(); }
+
+  /// Number of target dimensions.
+  size_t num_targets() const { return targets.cols(); }
+
+  /// Number of description attributes.
+  size_t num_descriptions() const { return descriptions.num_columns(); }
+
+  /// Validates internal consistency (row counts, name counts).
+  Status Validate() const;
+};
+
+}  // namespace sisd::data
+
+#endif  // SISD_DATA_TABLE_HPP_

@@ -1,0 +1,119 @@
+#include "datagen/crime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "random/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sisd::datagen {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+CrimeData MakeCrimeLike(const CrimeConfig& config) {
+  SISD_CHECK(config.num_descriptions >= 2);
+  random::Rng rng(config.seed);
+  const size_t n = config.num_rows;
+
+  // Driver: PctIlleg = U^4 — right-skewed on [0, 1]; its 4/5 quantile sits
+  // at 0.8^4 ~ 0.41, so the Cortana-style 4/5-percentile split lands close
+  // to the paper's reported threshold 0.39 and covers ~20% of rows.
+  std::vector<double> pct_illeg(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.Uniform();
+    pct_illeg[i] = u * u * u * u;
+  }
+
+  // Crime rate: monotone response to the driver plus noise.
+  std::vector<double> crime(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double response = 0.10 + 0.62 * std::pow(pct_illeg[i], 0.8);
+    crime[i] = Clamp01(response + rng.Gaussian(0.0, 0.10));
+  }
+
+  CrimeData out;
+  out.dataset.name = "crime-like";
+  out.dataset.target_names = {"ViolentCrimesPerPop"};
+  out.dataset.targets = linalg::Matrix(n, 1);
+  for (size_t i = 0; i < n; ++i) out.dataset.targets(i, 0) = crime[i];
+
+  out.dataset.descriptions
+      .AddColumn(data::Column::Numeric("PctIlleg", pct_illeg))
+      .CheckOK();
+
+  // A block of demographics correlated with the driver (competition for the
+  // beam search), then independent nuisance attributes with varied shapes.
+  static const char* kCorrelatedNames[] = {
+      "PctUnemployed", "PctPopUnderPov",  "PctLowIncome", "PctNotHSGrad",
+      "PctVacantBoarded", "PctHousNoPhone", "PctSameCity85", "MedRentPctHousInc",
+  };
+  const size_t num_correlated =
+      std::min(sizeof(kCorrelatedNames) / sizeof(kCorrelatedNames[0]),
+               config.num_descriptions - 1);
+  for (size_t j = 0; j < num_correlated; ++j) {
+    std::vector<double> values(n);
+    const double mix = 0.35 + 0.05 * double(j % 4);  // 0.35..0.50
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = Clamp01(mix * pct_illeg[i] + (1.0 - mix) * rng.Uniform() +
+                          rng.Gaussian(0.0, 0.05));
+    }
+    out.dataset.descriptions
+        .AddColumn(data::Column::Numeric(kCorrelatedNames[j], values))
+        .CheckOK();
+  }
+
+  for (size_t j = num_correlated + 1; j < config.num_descriptions; ++j) {
+    std::vector<double> values(n);
+    const int shape = static_cast<int>(j % 3);
+    for (size_t i = 0; i < n; ++i) {
+      double v;
+      switch (shape) {
+        case 0:
+          v = rng.Uniform();
+          break;
+        case 1: {
+          const double u = rng.Uniform();
+          v = u * u;  // right-skewed
+          break;
+        }
+        default:
+          v = Clamp01(0.5 + rng.Gaussian(0.0, 0.18));
+          break;
+      }
+      values[i] = v;
+    }
+    out.dataset.descriptions
+        .AddColumn(
+            data::Column::Numeric(StrFormat("demo%03zu", j), values))
+        .CheckOK();
+  }
+
+  // Ground truth bookkeeping.
+  out.truth.driver_name = "PctIlleg";
+  out.truth.driver_threshold =
+      stats::Quantile(pct_illeg, 0.8);
+  out.truth.hot_rows = pattern::Extension(n);
+  double hot_sum = 0.0;
+  double all_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    all_sum += crime[i];
+    if (pct_illeg[i] >= out.truth.driver_threshold) {
+      out.truth.hot_rows.Insert(i);
+      hot_sum += crime[i];
+    }
+  }
+  out.truth.overall_mean = all_sum / double(n);
+  out.truth.subgroup_mean =
+      out.truth.hot_rows.count() > 0
+          ? hot_sum / double(out.truth.hot_rows.count())
+          : 0.0;
+  out.dataset.Validate().CheckOK();
+  return out;
+}
+
+}  // namespace sisd::datagen

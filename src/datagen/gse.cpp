@@ -1,0 +1,160 @@
+#include "datagen/gse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/rng.hpp"
+
+namespace sisd::datagen {
+
+GseData MakeGseLike(const GseConfig& config) {
+  random::Rng rng(config.seed);
+  const size_t n = config.num_rows;
+
+  GseData out;
+  out.dataset.name = "gse-like";
+
+  // Stratum assignment: ~25% East, ~10% big cities, rest West.
+  enum Stratum { kEast = 0, kCity = 1, kWest = 2 };
+  std::vector<int> stratum(n);
+  out.truth.east = pattern::Extension(n);
+  out.truth.cities = pattern::Extension(n);
+  out.truth.west_family = pattern::Extension(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.Uniform();
+    if (u < 0.25) {
+      stratum[i] = kEast;
+      out.truth.east.Insert(i);
+    } else if (u < 0.35) {
+      stratum[i] = kCity;
+      out.truth.cities.Insert(i);
+    } else {
+      stratum[i] = kWest;
+      out.truth.west_family.Insert(i);
+    }
+  }
+
+  // --- Description attributes (13) ---------------------------------------
+  std::vector<double> children(n), young(n), middle(n), old(n), elderly(n);
+  std::vector<double> agri(n), production(n), service(n), trade(n),
+      finance(n), public_service(n), unemployment(n), income(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Children population is the crisp stratum marker (the paper's top
+    // pattern is a children-population threshold); the economic attributes
+    // correlate with the strata but overlap heavily, so they cannot beat
+    // the one-condition children description on SI.
+    switch (stratum[i]) {
+      case kEast:
+        children[i] = rng.Gaussian(12.3, 0.8);
+        middle[i] = rng.Gaussian(24.0, 1.2);
+        unemployment[i] = rng.Gaussian(11.0, 3.0);
+        income[i] = rng.Gaussian(17.0, 2.5);
+        agri[i] = rng.Gaussian(3.2, 1.2);
+        production[i] = rng.Gaussian(22.0, 3.5);
+        break;
+      case kCity:
+        children[i] = rng.Gaussian(15.2, 0.8);
+        middle[i] = rng.Gaussian(28.5, 1.1);
+        unemployment[i] = rng.Gaussian(9.0, 2.5);
+        income[i] = rng.Gaussian(21.0, 3.0);
+        agri[i] = rng.Gaussian(0.7, 0.4);
+        production[i] = rng.Gaussian(16.0, 3.0);
+        break;
+      default:
+        children[i] = rng.Gaussian(17.2, 1.0);
+        middle[i] = rng.Gaussian(25.0, 1.0);
+        unemployment[i] = rng.Gaussian(7.5, 2.5);
+        income[i] = rng.Gaussian(19.5, 2.5);
+        agri[i] = rng.Gaussian(2.4, 1.2);
+        production[i] = rng.Gaussian(26.0, 4.0);
+        break;
+    }
+    children[i] = std::max(8.0, children[i]);
+    middle[i] = std::max(18.0, middle[i]);
+    young[i] = std::max(6.0, rng.Gaussian(11.0, 1.0));
+    old[i] = std::max(10.0, rng.Gaussian(20.0, 1.5));
+    elderly[i] =
+        std::max(5.0, 100.0 - children[i] - young[i] - middle[i] - old[i] +
+                          rng.Gaussian(0.0, 0.5));
+    agri[i] = std::max(0.1, agri[i]);
+    production[i] = std::max(5.0, production[i]);
+    service[i] = std::max(10.0, rng.Gaussian(30.0, 3.0));
+    trade[i] = std::max(5.0, rng.Gaussian(14.0, 1.5));
+    finance[i] = std::max(
+        1.0, rng.Gaussian(stratum[i] == kCity ? 6.5 : 3.5, 1.0));
+    public_service[i] = std::max(4.0, rng.Gaussian(12.0, 1.5));
+    unemployment[i] = std::max(2.0, unemployment[i]);
+    income[i] = std::max(10.0, income[i]);
+  }
+  auto add = [&](const char* name, const std::vector<double>& v) {
+    out.dataset.descriptions.AddColumn(data::Column::Numeric(name, v))
+        .CheckOK();
+  };
+  add("Children_Pop", children);
+  add("Young_Pop", young);
+  add("MiddleAged_Pop", middle);
+  add("Old_Pop", old);
+  add("Elderly_Pop", elderly);
+  add("Agriculture_Workforce", agri);
+  add("Production_Workforce", production);
+  add("Service_Workforce", service);
+  add("Trade_Workforce", trade);
+  add("Finance_Workforce", finance);
+  add("PublicService_Workforce", public_service);
+  add("Unemployment", unemployment);
+  add("Income_per_Capita", income);
+  out.truth.children_attribute = 0;
+  out.truth.middle_aged_attribute = 2;
+
+  // --- Vote-share targets (5) ---------------------------------------------
+  // CDU, SPD, FDP, GREEN, LEFT; positive, sum ~ 100 (remainder = others).
+  out.dataset.target_names = {"CDU_2009", "SPD_2009", "FDP_2009",
+                              "GREEN_2009", "LEFT_2009"};
+  out.dataset.targets = linalg::Matrix(n, 5);
+  out.truth.cdu_target = 0;
+  out.truth.spd_target = 1;
+  out.truth.green_target = 3;
+  out.truth.left_target = 4;
+  for (size_t i = 0; i < n; ++i) {
+    double cdu, spd, fdp, green, left;
+    switch (stratum[i]) {
+      case kEast: {
+        // Strong CDU/SPD anti-correlation: they battle for the same voters.
+        const double swing = rng.Gaussian(0.0, 3.2);
+        cdu = 29.5 + swing;
+        spd = 19.5 - 0.6946 * swing + rng.Gaussian(0.0, 0.55);
+        fdp = std::max(2.0, rng.Gaussian(8.0, 1.5));
+        green = std::max(2.0, rng.Gaussian(5.5, 1.2));
+        left = std::max(5.0, rng.Gaussian(26.5, 2.5));
+        break;
+      }
+      case kCity: {
+        cdu = rng.Gaussian(30.0, 3.0);
+        spd = rng.Gaussian(24.0, 3.0);
+        fdp = std::max(3.0, rng.Gaussian(11.0, 2.0));
+        green = std::max(6.0, rng.Gaussian(16.5, 2.5));
+        left = std::max(2.0, rng.Gaussian(6.0, 1.5));
+        break;
+      }
+      default: {
+        cdu = rng.Gaussian(37.5, 4.0);
+        spd = rng.Gaussian(24.5, 3.5);
+        fdp = std::max(4.0, rng.Gaussian(13.5, 2.0));
+        green = std::max(3.0, rng.Gaussian(9.5, 2.0));
+        left = std::max(1.5, rng.Gaussian(4.8, 1.2));
+        break;
+      }
+    }
+    cdu = std::max(10.0, cdu);
+    spd = std::max(8.0, spd);
+    out.dataset.targets(i, 0) = cdu;
+    out.dataset.targets(i, 1) = spd;
+    out.dataset.targets(i, 2) = fdp;
+    out.dataset.targets(i, 3) = green;
+    out.dataset.targets(i, 4) = left;
+  }
+  out.dataset.Validate().CheckOK();
+  return out;
+}
+
+}  // namespace sisd::datagen

@@ -1,0 +1,57 @@
+/// \file gse.hpp
+/// \brief Synthetic stand-in for the German socio-economics dataset
+/// (paper §III-C): 412 districts, 13 numeric description attributes (age and
+/// workforce structure), 5 vote-share targets (2009 federal election).
+///
+/// What the paper used: the KDD-IDEA 2013 "one click mining" dataset.
+/// What we build: districts in three planted strata —
+///   * an "East" stratum (~1/4 of districts): few children, strongly
+///     elevated LEFT vote, and a strong CDU/SPD anti-correlation (the
+///     paper's Fig. 8 low-variance spread direction w ~ (0.57, 0.82));
+///   * a "big city" stratum: many middle-aged residents, elevated GREEN;
+///   * the remaining "West family" districts: many children, low LEFT.
+/// Vote shares are positive and sum to ~100 per district, so the planted
+/// anti-correlations ride on the natural simplex constraint, as in the
+/// real data.
+
+#ifndef SISD_DATAGEN_GSE_HPP_
+#define SISD_DATAGEN_GSE_HPP_
+
+#include <cstdint>
+
+#include "data/table.hpp"
+#include "pattern/extension.hpp"
+
+namespace sisd::datagen {
+
+/// \brief Generation parameters (defaults = paper shape).
+struct GseConfig {
+  size_t num_rows = 412;
+  uint64_t seed = 5;
+};
+
+/// \brief Ground truth of the planted strata.
+struct GseGroundTruth {
+  pattern::Extension east{0};
+  pattern::Extension cities{0};
+  pattern::Extension west_family{0};
+  size_t children_attribute = 0;     ///< index of "Children_Pop"
+  size_t middle_aged_attribute = 0;  ///< index of "MiddleAged_Pop"
+  size_t cdu_target = 0;             ///< index of CDU in targets
+  size_t spd_target = 0;             ///< index of SPD in targets
+  size_t left_target = 0;            ///< index of LEFT in targets
+  size_t green_target = 0;           ///< index of GREEN in targets
+};
+
+/// \brief The generated dataset plus ground truth.
+struct GseData {
+  data::Dataset dataset;
+  GseGroundTruth truth;
+};
+
+/// \brief Generates the socio-economics-shaped dataset.
+GseData MakeGseLike(const GseConfig& config = {});
+
+}  // namespace sisd::datagen
+
+#endif  // SISD_DATAGEN_GSE_HPP_

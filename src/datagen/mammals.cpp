@@ -1,0 +1,262 @@
+#include "datagen/mammals.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "random/rng.hpp"
+
+namespace sisd::datagen {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Gaussian bump centered at (lat0, lon0).
+double Bump(double lat, double lon, double lat0, double lon0, double lat_w,
+            double lon_w) {
+  const double dl = (lat - lat0) / lat_w;
+  const double dn = (lon - lon0) / lon_w;
+  return std::exp(-0.5 * (dl * dl + dn * dn));
+}
+
+}  // namespace
+
+MammalsData MakeMammalsLike(const MammalsConfig& config) {
+  random::Rng rng(config.seed);
+  const size_t n = config.grid_rows * config.grid_cols;
+
+  MammalsData out;
+  out.dataset.name = "mammals-like";
+  out.latitude.resize(n);
+  out.longitude.resize(n);
+
+  // Europe-like bounding box.
+  const double lat_lo = 35.0, lat_hi = 72.0;
+  const double lon_lo = -10.0, lon_hi = 32.0;
+  for (size_t r = 0; r < config.grid_rows; ++r) {
+    for (size_t c = 0; c < config.grid_cols; ++c) {
+      const size_t i = r * config.grid_cols + c;
+      out.latitude[i] =
+          lat_lo + (lat_hi - lat_lo) * double(r) / double(config.grid_rows - 1);
+      out.longitude[i] =
+          lon_lo + (lon_hi - lon_lo) * double(c) / double(config.grid_cols - 1);
+    }
+  }
+
+  // --- Climate fields -----------------------------------------------------
+  // Monthly mean temperatures (12) and rainfalls (12), then 43 derived
+  // "bioclim"-style indicators, 67 total.
+  std::vector<std::vector<double>> climate;
+  std::vector<std::string> climate_names;
+  climate.reserve(config.num_climate);
+
+  std::vector<std::vector<double>> temp(12, std::vector<double>(n));
+  std::vector<std::vector<double>> rain(12, std::vector<double>(n));
+  static const char* kMonths[12] = {"jan", "feb", "mar", "apr", "may", "jun",
+                                    "jul", "aug", "sep", "oct", "nov", "dec"};
+  for (size_t i = 0; i < n; ++i) {
+    const double lat = out.latitude[i];
+    const double lon = out.longitude[i];
+    const double alpine = Bump(lat, lon, 46.5, 10.0, 2.0, 5.0);  // the Alps
+    const double oceanic = Sigmoid((8.0 - lon) / 4.0);  // Atlantic influence
+    const double south = Sigmoid((43.0 - lat) / 2.5);   // Mediterranean
+    const double east = Sigmoid((lon - 20.0) / 4.0);    // continental east
+
+    for (int m = 0; m < 12; ++m) {
+      const double season = std::cos(2.0 * M_PI * (m - 6.5) / 12.0);
+      // Warm summers (m ~ 6-7), cold winters; amplitude grows to the east
+      // (continentality) and everything cools with latitude and altitude.
+      const double base = 22.0 - 0.45 * (lat - 35.0) - 9.0 * alpine;
+      const double amplitude = 8.0 + 6.0 * east - 3.0 * oceanic;
+      temp[m][i] = base + amplitude * (season - 0.35) + rng.Gaussian(0.0, 0.8);
+
+      // Rain: oceanic west is wet year-round, the south has dry summers,
+      // the east has dry autumns.
+      const double summer = std::exp(-0.5 * std::pow((m - 6.5) / 2.0, 2.0));
+      const double autumn = std::exp(-0.5 * std::pow((m - 9.0) / 1.5, 2.0));
+      double r = 70.0 + 35.0 * oceanic - 28.0 * south * summer -
+                 30.0 * east * autumn + 15.0 * alpine;
+      rain[m][i] = std::max(2.0, r + rng.Gaussian(0.0, 6.0));
+    }
+  }
+  for (int m = 0; m < 12; ++m) {
+    climate_names.push_back(StrFormat("temp_%s", kMonths[m]));
+    climate.push_back(temp[m]);
+  }
+  for (int m = 0; m < 12; ++m) {
+    climate_names.push_back(StrFormat("rain_%s", kMonths[m]));
+    climate.push_back(rain[m]);
+  }
+
+  // Derived indicators until we reach num_climate.
+  auto add_derived = [&](const std::string& name,
+                         const std::vector<double>& values) {
+    if (climate.size() < config.num_climate) {
+      climate_names.push_back(name);
+      climate.push_back(values);
+    }
+  };
+  {
+    std::vector<double> annual_t(n, 0.0), annual_r(n, 0.0), t_range(n),
+        warmest(n), coldest(n), wettest_q_t(n), driest_q_r(n);
+    for (size_t i = 0; i < n; ++i) {
+      double tmin = 1e9, tmax = -1e9;
+      double rmax = -1e9;
+      int wettest_m = 0;
+      double rmin_q = 1e9;
+      for (int m = 0; m < 12; ++m) {
+        annual_t[i] += temp[m][i] / 12.0;
+        annual_r[i] += rain[m][i];
+        tmin = std::min(tmin, temp[m][i]);
+        tmax = std::max(tmax, temp[m][i]);
+        if (rain[m][i] > rmax) {
+          rmax = rain[m][i];
+          wettest_m = m;
+        }
+      }
+      for (int m = 0; m < 12; ++m) {
+        const double q = rain[m][i] + rain[(m + 1) % 12][i] +
+                         rain[(m + 2) % 12][i];
+        rmin_q = std::min(rmin_q, q);
+      }
+      t_range[i] = tmax - tmin;
+      warmest[i] = tmax;
+      coldest[i] = tmin;
+      // Mean temperature of the wettest quarter (the paper's Fig. 6c uses
+      // exactly this indicator).
+      wettest_q_t[i] = (temp[wettest_m][i] +
+                        temp[(wettest_m + 1) % 12][i] +
+                        temp[(wettest_m + 2) % 12][i]) /
+                       3.0;
+      driest_q_r[i] = rmin_q;
+    }
+    add_derived("annual_mean_temp", annual_t);
+    add_derived("annual_rainfall", annual_r);
+    add_derived("temp_annual_range", t_range);
+    add_derived("max_temp_warmest_month", warmest);
+    add_derived("min_temp_coldest_month", coldest);
+    add_derived("mean_temp_wettest_quarter", wettest_q_t);
+    add_derived("rain_driest_quarter", driest_q_r);
+  }
+  // Quarterly means and assorted seasonal aggregates to fill 67 columns.
+  for (int q = 0; q < 4 && climate.size() < config.num_climate; ++q) {
+    std::vector<double> tq(n, 0.0), rq(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (int m = 3 * q; m < 3 * q + 3; ++m) {
+        tq[i] += temp[m][i] / 3.0;
+        rq[i] += rain[m][i];
+      }
+    }
+    add_derived(StrFormat("temp_q%d", q + 1), tq);
+    add_derived(StrFormat("rain_q%d", q + 1), rq);
+  }
+  {
+    size_t extra = 0;
+    while (climate.size() < config.num_climate) {
+      // Smooth mixtures of existing fields plus noise (stand-ins for the
+      // remaining WorldClim indicators).
+      std::vector<double> mixed(n);
+      const size_t src_a = extra % 24;
+      const size_t src_b = (7 * extra + 3) % 24;
+      for (size_t i = 0; i < n; ++i) {
+        mixed[i] = 0.6 * climate[src_a][i] + 0.4 * climate[src_b][i] +
+                   rng.Gaussian(0.0, 1.0);
+      }
+      add_derived(StrFormat("bioclim_extra%02zu", extra), mixed);
+      ++extra;
+    }
+  }
+  for (size_t j = 0; j < climate.size(); ++j) {
+    out.dataset.descriptions
+        .AddColumn(data::Column::Numeric(climate_names[j], climate[j]))
+        .CheckOK();
+  }
+
+  // --- Species ------------------------------------------------------------
+  // Each species responds logistically to a few climate drivers. The first
+  // handful are planted analogues of the paper's named species.
+  out.dataset.targets = linalg::Matrix(n, config.num_species);
+  out.dataset.target_names.resize(config.num_species);
+  const std::vector<double>& t_mar = temp[2];
+  const std::vector<double>& r_aug = rain[7];
+  const std::vector<double>& r_oct = rain[9];
+
+  auto set_species = [&](size_t s, const std::string& name, auto logit_fn) {
+    out.dataset.target_names[s] = name;
+    for (size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(logit_fn(i));
+      out.dataset.targets(i, s) = rng.Bernoulli(p) ? 1.0 : 0.0;
+    }
+  };
+
+  size_t s = 0;
+  // Wood mouse: widespread except the cold north (absent when March cold).
+  set_species(s++, "Apodemus_sylvaticus",
+              [&](size_t i) { return 2.2 + 0.9 * (t_mar[i] - 0.0); });
+  // Mountain hare: thrives exactly where March is cold.
+  set_species(s++, "Lepus_timidus",
+              [&](size_t i) { return -1.2 - 1.1 * (t_mar[i] + 1.0); });
+  // Moose: cold north, slightly wider.
+  set_species(s++, "Alces_alces",
+              [&](size_t i) { return -1.0 - 0.9 * (t_mar[i] + 0.5); });
+  // Grey-sided vole / wood lemming: northern taiga companions.
+  set_species(s++, "Clethrionomys_rufocanus",
+              [&](size_t i) { return -2.0 - 1.0 * (t_mar[i] + 1.5); });
+  set_species(s++, "Myopus_schisticolor",
+              [&](size_t i) { return -2.4 - 1.0 * (t_mar[i] + 1.5); });
+  // Iberian hare: exclusive to the dry south.
+  set_species(s++, "Lepus_granatensis",
+              [&](size_t i) { return 3.0 - 0.16 * (r_aug[i] - 30.0); });
+  // Stoat and bank vole: prefer moist climates (absent in the dry south).
+  set_species(s++, "Mustela_erminea",
+              [&](size_t i) { return -2.5 + 0.07 * r_aug[i]; });
+  set_species(s++, "Clethrionomys_glareolus",
+              [&](size_t i) { return -2.0 + 0.06 * r_aug[i]; });
+  // Eastern species tied to dry autumns.
+  set_species(s++, "Spermophilus_citellus",
+              [&](size_t i) { return 2.0 - 0.12 * (r_oct[i] - 35.0); });
+
+  out.truth.cold_present_species = {1, 2, 3, 4};
+  out.truth.cold_absent_species = {0};
+
+  // Remaining species: random logistic responses to 1-3 random drivers.
+  for (; s < config.num_species; ++s) {
+    const size_t d1 = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(climate.size()) - 1));
+    const size_t d2 = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(climate.size()) - 1));
+    const double w1 = rng.Gaussian(0.0, 0.5);
+    const double w2 = rng.Gaussian(0.0, 0.3);
+    const double bias = rng.Gaussian(0.0, 1.2);
+    // Standardize drivers crudely so logits stay in range.
+    double m1 = 0.0, m2 = 0.0, v1 = 0.0, v2 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      m1 += climate[d1][i] / double(n);
+      m2 += climate[d2][i] / double(n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      v1 += (climate[d1][i] - m1) * (climate[d1][i] - m1) / double(n);
+      v2 += (climate[d2][i] - m2) * (climate[d2][i] - m2) / double(n);
+    }
+    const double s1 = std::sqrt(std::max(v1, 1e-9));
+    const double s2 = std::sqrt(std::max(v2, 1e-9));
+    out.dataset.target_names[s] = StrFormat("species_%03zu", s);
+    for (size_t i = 0; i < n; ++i) {
+      const double logit = bias + w1 * (climate[d1][i] - m1) / s1 +
+                           w2 * (climate[d2][i] - m2) / s2;
+      out.dataset.targets(i, s) = rng.Bernoulli(Sigmoid(logit)) ? 1.0 : 0.0;
+    }
+  }
+
+  // Ground-truth regions.
+  out.truth.cold_region = pattern::Extension(n);
+  out.truth.dry_south = pattern::Extension(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (t_mar[i] <= -1.5) out.truth.cold_region.Insert(i);
+    if (r_aug[i] <= 48.0) out.truth.dry_south.Insert(i);
+  }
+  out.dataset.Validate().CheckOK();
+  return out;
+}
+
+}  // namespace sisd::datagen

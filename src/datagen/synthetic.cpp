@@ -1,0 +1,102 @@
+#include "datagen/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "random/rng.hpp"
+
+namespace sisd::datagen {
+
+SyntheticData MakeSyntheticEmbedded(const SyntheticConfig& config) {
+  random::Rng rng(config.seed);
+  const size_t n = config.num_background +
+                   config.cluster_size * size_t(config.num_clusters);
+
+  SyntheticData out;
+  out.dataset.name = "synthetic-embedded";
+  out.dataset.target_names = {"Attribute1", "Attribute2"};
+  out.dataset.targets = linalg::Matrix(n, 2);
+
+  // Background points ~ N(0, I).
+  size_t row = 0;
+  for (size_t i = 0; i < config.num_background; ++i, ++row) {
+    out.dataset.targets(row, 0) = rng.Gaussian();
+    out.dataset.targets(row, 1) = rng.Gaussian();
+  }
+
+  // Embedded clusters: centers spread around the circle of radius
+  // `center_distance`, each elongated along its own direction.
+  std::vector<std::vector<bool>> labels(
+      static_cast<size_t>(config.num_clusters), std::vector<bool>(n, false));
+  for (int k = 0; k < config.num_clusters; ++k) {
+    const double center_angle =
+        2.0 * M_PI * double(k) / double(config.num_clusters) + M_PI / 2.0;
+    const double main_angle = center_angle + M_PI / 3.0 * double(k + 1);
+    linalg::Vector center{config.center_distance * std::cos(center_angle),
+                          config.center_distance * std::sin(center_angle)};
+    linalg::Vector main_dir{std::cos(main_angle), std::sin(main_angle)};
+    linalg::Vector minor_dir{-std::sin(main_angle), std::cos(main_angle)};
+
+    pattern::Extension extension(n);
+    for (size_t i = 0; i < config.cluster_size; ++i, ++row) {
+      const double along = rng.Gaussian(0.0, config.major_std);
+      const double across = rng.Gaussian(0.0, config.minor_std);
+      out.dataset.targets(row, 0) =
+          center[0] + along * main_dir[0] + across * minor_dir[0];
+      out.dataset.targets(row, 1) =
+          center[1] + along * main_dir[1] + across * minor_dir[1];
+      labels[static_cast<size_t>(k)][row] = true;
+      extension.Insert(row);
+    }
+    out.truth.cluster_extensions.push_back(std::move(extension));
+    out.truth.cluster_centers.push_back(std::move(center));
+    out.truth.cluster_main_directions.push_back(std::move(main_dir));
+  }
+
+  // Description attributes: a3..a5 true labels, a6.. noise.
+  for (int k = 0; k < config.num_clusters; ++k) {
+    const std::string name = StrFormat("a%d", k + 3);
+    out.dataset.descriptions
+        .AddColumn(data::Column::Binary(name, labels[static_cast<size_t>(k)]))
+        .CheckOK();
+    out.truth.label_attributes.push_back(static_cast<size_t>(k));
+  }
+  for (int j = 0; j < config.num_noise_attributes; ++j) {
+    std::vector<bool> noise(n);
+    for (size_t i = 0; i < n; ++i) noise[i] = rng.Bernoulli(0.5);
+    const std::string name =
+        StrFormat("a%d", config.num_clusters + 3 + j);
+    out.dataset.descriptions.AddColumn(data::Column::Binary(name, noise))
+        .CheckOK();
+  }
+  out.dataset.Validate().CheckOK();
+  return out;
+}
+
+data::Dataset FlipBinaryDescriptors(const data::Dataset& dataset,
+                                    double flip_probability, uint64_t seed) {
+  SISD_CHECK(flip_probability >= 0.0 && flip_probability <= 1.0);
+  random::Rng rng(seed);
+  data::Dataset out;
+  out.name = dataset.name + "-flipped";
+  out.targets = dataset.targets;
+  out.target_names = dataset.target_names;
+  for (size_t j = 0; j < dataset.descriptions.num_columns(); ++j) {
+    const data::Column& col = dataset.descriptions.column(j);
+    if (col.kind() == data::AttributeKind::kBinary) {
+      std::vector<bool> values(col.size());
+      for (size_t i = 0; i < col.size(); ++i) {
+        bool v = col.Code(i) != 0;
+        if (rng.Bernoulli(flip_probability)) v = !v;
+        values[i] = v;
+      }
+      out.descriptions.AddColumn(data::Column::Binary(col.name(), values))
+          .CheckOK();
+    } else {
+      out.descriptions.AddColumn(col).CheckOK();
+    }
+  }
+  return out;
+}
+
+}  // namespace sisd::datagen

@@ -1,0 +1,116 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace sisd::linalg {
+
+Result<Cholesky> Cholesky::Compute(const Matrix& a) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lrow_j = l.RowData(j);
+    for (size_t k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return Status::NumericalError(StrFormat(
+          "matrix not positive definite at pivot %zu (value %.6g)", j, diag));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      const double* lrow_i = l.RowData(i);
+      for (size_t k = 0; k < j; ++k) acc -= lrow_i[k] * lrow_j[k];
+      l(i, j) = acc / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  Vector z = ForwardSolve(b);
+  // Back substitution: L' x = z.
+  const size_t n = dim();
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b) const {
+  SISD_CHECK(b.rows() == dim());
+  Matrix out(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    Vector col = b.Col(c);
+    Vector sol = Solve(col);
+    for (size_t r = 0; r < b.rows(); ++r) out(r, c) = sol[r];
+  }
+  return out;
+}
+
+Vector Cholesky::ForwardSolve(const Vector& b) const {
+  SISD_CHECK(b.size() == dim());
+  const size_t n = dim();
+  Vector z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    const double* lrow = l_.RowData(i);
+    for (size_t k = 0; k < i; ++k) acc -= lrow[k] * z[k];
+    z[i] = acc / lrow[i];
+  }
+  return z;
+}
+
+Matrix Cholesky::Inverse() const {
+  const size_t n = dim();
+  Matrix inv(n, n);
+  // Solve A x = e_i for each basis vector.
+  Vector e(n);
+  for (size_t i = 0; i < n; ++i) {
+    e.Fill(0.0);
+    e[i] = 1.0;
+    Vector x = Solve(e);
+    for (size_t r = 0; r < n; ++r) inv(r, i) = x[r];
+  }
+  inv.Symmetrize();
+  return inv;
+}
+
+double Cholesky::LogDeterminant() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+double Cholesky::InverseQuadraticForm(const Vector& b) const {
+  Vector z = ForwardSolve(b);
+  return z.SquaredNorm();
+}
+
+Matrix SpdInverse(const Matrix& a) {
+  Result<Cholesky> chol = Cholesky::Compute(a);
+  chol.status().CheckOK();
+  return chol.Value().Inverse();
+}
+
+double SpdLogDeterminant(const Matrix& a) {
+  Result<Cholesky> chol = Cholesky::Compute(a);
+  chol.status().CheckOK();
+  return chol.Value().LogDeterminant();
+}
+
+Vector SpdSolve(const Matrix& a, const Vector& b) {
+  Result<Cholesky> chol = Cholesky::Compute(a);
+  chol.status().CheckOK();
+  return chol.Value().Solve(b);
+}
+
+}  // namespace sisd::linalg

@@ -1,0 +1,70 @@
+/// \file cholesky.hpp
+/// \brief Cholesky (LL') factorization of symmetric positive-definite
+/// matrices, with solve / inverse / log-determinant.
+///
+/// The background model needs, per candidate subgroup, the log-determinant of
+/// and a quadratic form with the covariance of the subgroup-mean statistic
+/// (Eq. 13 of the paper); both come out of one factorization.
+
+#ifndef SISD_LINALG_CHOLESKY_HPP_
+#define SISD_LINALG_CHOLESKY_HPP_
+
+#include "common/status.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace sisd::linalg {
+
+/// \brief Lower-triangular Cholesky factor of an SPD matrix.
+///
+/// Construct via `Cholesky::Compute`. All query methods require a
+/// successfully computed factorization.
+class Cholesky {
+ public:
+  /// Factorizes symmetric positive-definite `a` as `L L'`.
+  /// Returns NumericalError if `a` is not (numerically) SPD.
+  static Result<Cholesky> Compute(const Matrix& a);
+
+  /// Dimension of the factored matrix.
+  size_t dim() const { return l_.rows(); }
+
+  /// The lower-triangular factor `L`.
+  const Matrix& L() const { return l_; }
+
+  /// Solves `A x = b` using forward + back substitution.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves `A X = B` column-wise.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// Solves `L z = b` (forward substitution only). Useful for whitening:
+  /// if `A = L L'` and `z = L^{-1}(x - mu)` then `z ~ N(0, I)`.
+  Vector ForwardSolve(const Vector& b) const;
+
+  /// The inverse `A^{-1}` as a dense (symmetric) matrix.
+  Matrix Inverse() const;
+
+  /// `log |A| = 2 * sum_i log L_ii`.
+  double LogDeterminant() const;
+
+  /// Quadratic form with the inverse: `b' A^{-1} b`, via one forward solve.
+  double InverseQuadraticForm(const Vector& b) const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;
+};
+
+/// \brief Convenience: inverse of an SPD matrix (aborts if not SPD).
+Matrix SpdInverse(const Matrix& a);
+
+/// \brief Convenience: log-determinant of an SPD matrix (aborts if not SPD).
+double SpdLogDeterminant(const Matrix& a);
+
+/// \brief Solves the SPD system `A x = b` (aborts if not SPD).
+Vector SpdSolve(const Matrix& a, const Vector& b);
+
+}  // namespace sisd::linalg
+
+#endif  // SISD_LINALG_CHOLESKY_HPP_

@@ -1,0 +1,112 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sisd::linalg {
+
+namespace {
+
+/// Sum of squares of off-diagonal entries.
+double OffDiagonalNormSq(const Matrix& a) {
+  double acc = 0.0;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = r + 1; c < a.cols(); ++c) {
+      acc += 2.0 * a(r, c) * a(r, c);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
+                                          double tol) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  if (!a.AllFinite()) {
+    return Status::NumericalError("SymmetricEigen: non-finite entries");
+  }
+  const size_t n = a.rows();
+  Matrix d = a;
+  d.Symmetrize();
+  Matrix v = Matrix::Identity(n);
+
+  const double frob = std::max(d.MaxAbs(), 1e-300);
+  const double threshold = tol * tol * frob * frob * double(n) * double(n);
+
+  bool converged = (n <= 1) || OffDiagonalNormSq(d) <= threshold;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan(rotation angle).
+        double t;
+        if (std::fabs(theta) > 1e150) {
+          t = 1.0 / (2.0 * theta);
+        } else {
+          t = 1.0 / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+          if (theta < 0.0) t = -t;
+        }
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+
+        d(p, p) = app - t * apq;
+        d(q, q) = aqq + t * apq;
+        d(p, q) = 0.0;
+        d(q, p) = 0.0;
+        for (size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          const double akp = d(k, p);
+          const double akq = d(k, q);
+          d(k, p) = akp - s * (akq + tau * akp);
+          d(p, k) = d(k, p);
+          d(k, q) = akq + s * (akp - tau * akq);
+          d(q, k) = d(k, q);
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = vkp - s * (vkq + tau * vkp);
+          v(k, q) = vkq + s * (vkp - tau * vkq);
+        }
+      }
+    }
+    converged = OffDiagonalNormSq(d) <= threshold;
+  }
+  if (!converged) {
+    return Status::NumericalError("Jacobi eigendecomposition did not converge");
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return d(i, i) > d(j, j); });
+
+  EigenDecomposition out;
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    out.eigenvalues[k] = d(order[k], order[k]);
+    for (size_t r = 0; r < n; ++r) {
+      out.eigenvectors(r, k) = v(r, order[k]);
+    }
+  }
+  return out;
+}
+
+EigenDecomposition SymmetricEigenOrDie(const Matrix& a) {
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  eig.status().CheckOK();
+  return std::move(eig).MoveValue();
+}
+
+}  // namespace sisd::linalg

@@ -1,0 +1,44 @@
+/// \file eigen.hpp
+/// \brief Symmetric eigendecomposition via cyclic Jacobi rotations.
+///
+/// Used to (a) initialize the spread-direction optimizer from the extreme
+/// generalized-variance directions, and (b) build the anisotropic clusters of
+/// the synthetic dataset (Section III-A of the paper).
+
+#ifndef SISD_LINALG_EIGEN_HPP_
+#define SISD_LINALG_EIGEN_HPP_
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace sisd::linalg {
+
+/// \brief Result of a symmetric eigendecomposition `A = V diag(w) V'`.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  Vector eigenvalues;
+  /// Orthonormal eigenvectors as matrix columns, ordered like `eigenvalues`.
+  Matrix eigenvectors;
+
+  /// Returns eigenvector `k` (column copy).
+  Vector Eigenvector(size_t k) const { return eigenvectors.Col(k); }
+};
+
+/// \brief Computes the full eigendecomposition of symmetric `a`.
+///
+/// Uses the cyclic Jacobi method: numerically robust for the small dense
+/// matrices used here (dy <= a few hundred). Returns NumericalError when the
+/// iteration does not converge (pathological input such as NaN entries).
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64,
+                                          double tol = 1e-12);
+
+/// \brief Convenience wrapper that aborts on failure.
+EigenDecomposition SymmetricEigenOrDie(const Matrix& a);
+
+}  // namespace sisd::linalg
+
+#endif  // SISD_LINALG_EIGEN_HPP_

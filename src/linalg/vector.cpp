@@ -1,0 +1,126 @@
+#include "linalg/vector.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace sisd::linalg {
+
+Vector& Vector::operator+=(const Vector& other) {
+  SISD_DCHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  SISD_DCHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) {
+  for (double& v : data_) v *= scale;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scale) {
+  SISD_DCHECK(scale != 0.0);
+  for (double& v : data_) v /= scale;
+  return *this;
+}
+
+Vector& Vector::AddScaled(const Vector& other, double scale) {
+  SISD_DCHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+  return *this;
+}
+
+double Vector::Dot(const Vector& other) const {
+  SISD_DCHECK(size() == other.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Vector::SquaredNorm() const { return Dot(*this); }
+
+double Vector::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Vector::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+Vector Vector::Normalized() const {
+  double norm = Norm();
+  SISD_CHECK(norm > 0.0);
+  Vector out = *this;
+  out /= norm;
+  return out;
+}
+
+void Vector::Fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+bool Vector::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string Vector::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.6g", data_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  a += b;
+  return a;
+}
+
+Vector operator-(Vector a, const Vector& b) {
+  a -= b;
+  return a;
+}
+
+Vector operator*(Vector a, double s) {
+  a *= s;
+  return a;
+}
+
+Vector operator*(double s, Vector a) {
+  a *= s;
+  return a;
+}
+
+Vector operator/(Vector a, double s) {
+  a /= s;
+  return a;
+}
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  SISD_CHECK(a.size() == b.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+}  // namespace sisd::linalg

@@ -1,0 +1,121 @@
+/// \file vector.hpp
+/// \brief Dense real vector with the small set of operations the background
+/// model and the spread-direction optimizer need.
+///
+/// This is deliberately a minimal dense-linear-algebra kernel, not a general
+/// BLAS: the paper's model works with dy-dimensional Gaussians where dy is at
+/// most a few hundred (124 for the mammals dataset), so simple loops are both
+/// sufficient and easy to verify.
+
+#ifndef SISD_LINALG_VECTOR_HPP_
+#define SISD_LINALG_VECTOR_HPP_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sisd::linalg {
+
+/// \brief Dense column vector of doubles.
+class Vector {
+ public:
+  /// Creates an empty (0-dimensional) vector.
+  Vector() = default;
+
+  /// Creates a zero vector of dimension `n`.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+
+  /// Creates a vector of dimension `n` filled with `value`.
+  Vector(size_t n, double value) : data_(n, value) {}
+
+  /// Creates a vector from an initializer list, e.g. `Vector{1.0, 2.0}`.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Creates a vector wrapping a copy of `values`.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  /// Dimension of the vector.
+  size_t size() const { return data_.size(); }
+
+  /// True iff dimension is zero.
+  bool empty() const { return data_.empty(); }
+
+  /// Element access with debug bounds checking.
+  double& operator[](size_t i) {
+    SISD_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    SISD_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// Raw storage access (contiguous).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Underlying std::vector (read-only view).
+  const std::vector<double>& values() const { return data_; }
+
+  /// \name In-place arithmetic.
+  /// @{
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scale);
+  Vector& operator/=(double scale);
+  /// Adds `scale * other` (axpy).
+  Vector& AddScaled(const Vector& other, double scale);
+  /// @}
+
+  /// Euclidean inner product with `other`.
+  double Dot(const Vector& other) const;
+
+  /// Euclidean (L2) norm.
+  double Norm() const;
+
+  /// Squared Euclidean norm.
+  double SquaredNorm() const;
+
+  /// Largest absolute entry (0 for empty vectors).
+  double MaxAbs() const;
+
+  /// Sum of entries.
+  double Sum() const;
+
+  /// Returns a copy scaled to unit Euclidean norm.
+  /// Requires a strictly positive norm.
+  Vector Normalized() const;
+
+  /// Sets all entries to `value`.
+  void Fill(double value);
+
+  /// True iff every entry is finite (no NaN/Inf).
+  bool AllFinite() const;
+
+  /// Renders as "[a, b, c]" with `%.6g` formatting.
+  std::string ToString() const;
+
+  bool operator==(const Vector& other) const { return data_ == other.data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// \name Out-of-place arithmetic.
+/// @{
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector a, double s);
+Vector operator*(double s, Vector a);
+Vector operator/(Vector a, double s);
+/// @}
+
+/// \brief Maximum absolute componentwise difference; vectors must match size.
+double MaxAbsDiff(const Vector& a, const Vector& b);
+
+}  // namespace sisd::linalg
+
+#endif  // SISD_LINALG_VECTOR_HPP_

@@ -1,0 +1,83 @@
+#include "model/assimilator.hpp"
+
+#include <cmath>
+
+namespace sisd::model {
+
+Status PatternAssimilator::AddLocationPattern(
+    const pattern::Extension& extension, const linalg::Vector& subgroup_mean) {
+  AssimilatedConstraint c;
+  c.kind = AssimilatedConstraint::Kind::kLocation;
+  c.extension = extension;
+  c.mean = subgroup_mean;
+  SISD_RETURN_NOT_OK(ApplyConstraint(c));
+  constraints_.push_back(std::move(c));
+  return Status::OK();
+}
+
+Status PatternAssimilator::AddSpreadPattern(const pattern::Extension& extension,
+                                            const linalg::Vector& direction,
+                                            const linalg::Vector& anchor,
+                                            double variance) {
+  AssimilatedConstraint c;
+  c.kind = AssimilatedConstraint::Kind::kSpread;
+  c.extension = extension;
+  c.direction = direction.Normalized();
+  c.mean = anchor;
+  c.variance = variance;
+  SISD_RETURN_NOT_OK(ApplyConstraint(c));
+  constraints_.push_back(std::move(c));
+  return Status::OK();
+}
+
+Result<RefitStats> PatternAssimilator::Refit(int max_sweeps,
+                                             double tolerance) {
+  RefitStats stats;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    BackgroundModel before = model_;
+    for (const AssimilatedConstraint& c : constraints_) {
+      SISD_RETURN_NOT_OK(ApplyConstraint(c));
+    }
+    ++stats.sweeps;
+    stats.final_delta = model_.MaxParameterDelta(before);
+    if (stats.final_delta < tolerance) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+Result<RefitStats> PatternAssimilator::RefitFromScratch(int max_sweeps,
+                                                        double tolerance) {
+  model_ = initial_model_;
+  return Refit(max_sweeps, tolerance);
+}
+
+double PatternAssimilator::MaxConstraintViolation() const {
+  double worst = 0.0;
+  for (const AssimilatedConstraint& c : constraints_) {
+    if (c.kind == AssimilatedConstraint::Kind::kLocation) {
+      const linalg::Vector expected =
+          model_.ExpectedSubgroupMean(c.extension);
+      worst = std::max(worst, linalg::MaxAbsDiff(expected, c.mean));
+    } else {
+      const double expected = model_.ExpectedDirectionalVariance(
+          c.extension, c.direction, c.mean);
+      worst = std::max(worst, std::fabs(expected - c.variance));
+    }
+  }
+  return worst;
+}
+
+Status PatternAssimilator::ApplyConstraint(const AssimilatedConstraint& c) {
+  if (c.kind == AssimilatedConstraint::Kind::kLocation) {
+    Result<double> r = model_.UpdateLocation(c.extension, c.mean);
+    return r.status().ok() ? Status::OK() : r.status();
+  }
+  Result<double> r =
+      model_.UpdateSpread(c.extension, c.direction, c.mean, c.variance);
+  return r.status().ok() ? Status::OK() : r.status();
+}
+
+}  // namespace sisd::model

@@ -1,0 +1,148 @@
+#include "optimize/spread_objective.hpp"
+
+#include <cmath>
+
+#include "pattern/patterns.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace sisd::optimize {
+
+namespace {
+
+/// Observed standardized values below this are clamped so the objective
+/// stays differentiable; IC is astronomically large there anyway.
+constexpr double kMinStandardized = 1e-12;
+
+}  // namespace
+
+SpreadObjective::SpreadObjective(const model::BackgroundModel& model,
+                                 const pattern::Extension& extension,
+                                 const linalg::Matrix& y) {
+  SISD_CHECK(!extension.empty());
+  size_ = double(extension.count());
+  const std::vector<size_t> counts = model.GroupCounts(extension);
+  for (size_t g = 0; g < counts.size(); ++g) {
+    if (counts[g] == 0) continue;
+    GroupTerm term;
+    term.sigma = model.group(g).sigma;
+    term.count = double(counts[g]);
+    groups_.push_back(std::move(term));
+  }
+  const std::vector<size_t> rows = extension.ToRows();
+  const linalg::Vector mean = stats::ColumnMeans(y, rows);
+  scatter_ = stats::ScatterAround(y, rows, mean);
+
+  mixture_cov_ = linalg::Matrix(y.cols(), y.cols());
+  for (const GroupTerm& term : groups_) {
+    mixture_cov_.AddScaled(term.sigma, term.count / size_);
+  }
+}
+
+double SpreadObjective::Value(const linalg::Vector& w) const {
+  return Evaluate(w, nullptr);
+}
+
+double SpreadObjective::ValueAndGradient(const linalg::Vector& w,
+                                         linalg::Vector* gradient) const {
+  SISD_CHECK(gradient != nullptr);
+  return Evaluate(w, gradient);
+}
+
+double SpreadObjective::ObservedVariance(const linalg::Vector& w) const {
+  return scatter_.QuadraticForm(w);
+}
+
+SpreadObjective SpreadObjective::Restricted(
+    const std::vector<size_t>& coords) const {
+  SpreadObjective out;
+  out.size_ = size_;
+  out.scatter_ = scatter_.Submatrix(coords);
+  out.mixture_cov_ = mixture_cov_.Submatrix(coords);
+  for (const GroupTerm& term : groups_) {
+    GroupTerm reduced;
+    reduced.sigma = term.sigma.Submatrix(coords);
+    reduced.count = term.count;
+    out.groups_.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+double SpreadObjective::Evaluate(const linalg::Vector& w,
+                                 linalg::Vector* gradient) const {
+  SISD_CHECK(w.size() == dim());
+
+  // Power sums of the coefficients a_g = w' Sigma_g w / |I| and their
+  // per-group matrix-vector products (reused in the gradient).
+  double a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::vector<linalg::Vector> sigma_w;
+  std::vector<double> a_of_group;
+  sigma_w.reserve(groups_.size());
+  a_of_group.reserve(groups_.size());
+  for (const GroupTerm& term : groups_) {
+    linalg::Vector sw = term.sigma.MatVec(w);
+    const double a = w.Dot(sw) / size_;
+    SISD_CHECK(a > 0.0);
+    a_of_group.push_back(a);
+    sigma_w.push_back(std::move(sw));
+    a1 += term.count * a;
+    a2 += term.count * a * a;
+    a3 += term.count * a * a * a;
+  }
+  const double alpha = a3 / a2;
+  const double beta = a1 - a2 * a2 / a3;
+  const double m = (a2 * a2 * a2) / (a3 * a3);
+
+  const linalg::Vector scatter_w = scatter_.MatVec(w);
+  const double g_val = w.Dot(scatter_w);
+
+  double u = (g_val - beta) / alpha;
+  const bool clamped = u < kMinStandardized;
+  if (clamped) u = kMinStandardized;
+
+  const double half_m = 0.5 * m;
+  const double ic = std::log(alpha) + half_m * std::log(2.0) +
+                    stats::LogGamma(half_m) -
+                    (half_m - 1.0) * std::log(u) + 0.5 * u;
+
+  if (gradient == nullptr) return ic;
+
+  // dIC/du, and partials w.r.t. (g, alpha, beta, m).
+  const double dic_du = -(half_m - 1.0) / u + 0.5;
+  const double dic_dg = clamped ? 0.0 : dic_du / alpha;
+  const double dic_dbeta = clamped ? 0.0 : -dic_du / alpha;
+  const double dic_dalpha =
+      1.0 / alpha + (clamped ? 0.0 : dic_du * (-u / alpha));
+  const double dic_dm = 0.5 * std::log(2.0) +
+                        0.5 * stats::Digamma(half_m) - 0.5 * std::log(u);
+
+  // Chain through alpha(A2,A3), beta(A1,A2,A3), m(A2,A3).
+  const double dalpha_da2 = -a3 / (a2 * a2);
+  const double dalpha_da3 = 1.0 / a2;
+  const double dbeta_da1 = 1.0;
+  const double dbeta_da2 = -2.0 * a2 / a3;
+  const double dbeta_da3 = (a2 / a3) * (a2 / a3);
+  const double dm_da2 = 3.0 * a2 * a2 / (a3 * a3);
+  const double dm_da3 = -2.0 * (a2 * a2 * a2) / (a3 * a3 * a3);
+
+  const double dic_da1 = dic_dbeta * dbeta_da1;
+  const double dic_da2 = dic_dalpha * dalpha_da2 + dic_dbeta * dbeta_da2 +
+                         dic_dm * dm_da2;
+  const double dic_da3 = dic_dalpha * dalpha_da3 + dic_dbeta * dbeta_da3 +
+                         dic_dm * dm_da3;
+
+  linalg::Vector grad(dim());
+  // dg/dw = 2 S w.
+  grad.AddScaled(scatter_w, 2.0 * dic_dg);
+  // dA_k/dw = sum_g count_g * k * a_g^{k-1} * (2 Sigma_g w / |I|).
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    const double a = a_of_group[gi];
+    const double coeff =
+        dic_da1 + dic_da2 * 2.0 * a + dic_da3 * 3.0 * a * a;
+    grad.AddScaled(sigma_w[gi], coeff * 2.0 * groups_[gi].count / size_);
+  }
+  *gradient = std::move(grad);
+  return ic;
+}
+
+}  // namespace sisd::optimize

@@ -1,0 +1,118 @@
+/// \file condition.hpp
+/// \brief Conditions and intentions: the formal description language of
+/// subgroups (paper §II-A).
+///
+/// A condition constrains a single description attribute
+/// (`attr <= v`, `attr >= v` for orderable attributes, `attr == level`
+/// for categorical/binary attributes). An intention is a conjunction of
+/// conditions; its extension is the set of rows satisfying all of them.
+
+#ifndef SISD_PATTERN_CONDITION_HPP_
+#define SISD_PATTERN_CONDITION_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/table.hpp"
+#include "pattern/extension.hpp"
+
+namespace sisd::pattern {
+
+/// \brief Relational operator of a condition.
+enum class ConditionOp {
+  kLessEqual,     ///< attribute <= threshold (numeric / ordinal)
+  kGreaterEqual,  ///< attribute >= threshold (numeric / ordinal)
+  kEquals,        ///< attribute == level     (categorical / binary)
+  kNotEquals,     ///< attribute != level     (set exclusion, §II-A)
+};
+
+/// \brief Operator as text ("<=", ">=", "=").
+const char* ConditionOpToString(ConditionOp op);
+
+/// \brief A single-attribute condition.
+struct Condition {
+  size_t attribute = 0;          ///< column index into the description table
+  ConditionOp op = ConditionOp::kEquals;
+  double threshold = 0.0;        ///< for kLessEqual / kGreaterEqual
+  int32_t level = 0;             ///< for kEquals
+
+  /// Builds `attr <= threshold`.
+  static Condition LessEqual(size_t attribute, double threshold);
+  /// Builds `attr >= threshold`.
+  static Condition GreaterEqual(size_t attribute, double threshold);
+  /// Builds `attr == level`.
+  static Condition Equals(size_t attribute, int32_t level);
+  /// Builds `attr != level` (the simplest set-exclusion condition; useful
+  /// for categorical attributes with three or more levels).
+  static Condition NotEquals(size_t attribute, int32_t level);
+
+  /// True iff row `i` of `table` satisfies this condition.
+  bool Matches(const data::DataTable& table, size_t i) const;
+
+  /// Rows of `table` satisfying the condition, as a bitset.
+  Extension Evaluate(const data::DataTable& table) const;
+
+  /// Renders e.g. "PctIlleg >= 0.39" or "a3 = '1'".
+  std::string ToString(const data::DataTable& table) const;
+
+  /// Stable signature for dedup (attribute/op/value triple).
+  std::string Signature() const;
+
+  bool operator==(const Condition& other) const;
+};
+
+/// \brief A conjunction of conditions — the subgroup *intention*.
+class Intention {
+ public:
+  Intention() = default;
+
+  /// Creates an intention from explicit conditions.
+  explicit Intention(std::vector<Condition> conditions)
+      : conditions_(std::move(conditions)) {}
+
+  /// Number of conditions |C| (enters the Description Length).
+  size_t size() const { return conditions_.size(); }
+
+  /// True iff there are no conditions (matches all rows).
+  bool empty() const { return conditions_.empty(); }
+
+  /// The conditions in insertion order.
+  const std::vector<Condition>& conditions() const { return conditions_; }
+
+  /// Returns a copy extended with one more condition.
+  Intention Extended(const Condition& condition) const;
+
+  /// True iff some condition already constrains (attribute, op).
+  bool ConstrainsAttributeOp(size_t attribute, ConditionOp op) const;
+
+  /// True iff some condition constrains `attribute` (any op).
+  bool ConstrainsAttribute(size_t attribute) const;
+
+  /// True iff `condition` is an admissible refinement of this intention
+  /// under the canonical search rules:
+  ///  - interval conditions: at most one `<=` and one `>=` per attribute;
+  ///  - equality: an attribute carrying any condition is never additionally
+  ///    constrained by `==` (and `==` is never added to);
+  ///  - exclusion (`!=`): several distinct exclusions on one attribute are
+  ///    allowed (they express set exclusion), but never together with an
+  ///    equality on that attribute, and never duplicated.
+  bool AllowsRefinementWith(const Condition& condition) const;
+
+  /// Rows satisfying all conditions (full universe when empty).
+  Extension Evaluate(const data::DataTable& table) const;
+
+  /// Renders "cond1 AND cond2 AND ..." ("<all rows>" when empty).
+  std::string ToString(const data::DataTable& table) const;
+
+  /// Order-independent signature for dedup.
+  std::string CanonicalSignature() const;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+}  // namespace sisd::pattern
+
+#endif  // SISD_PATTERN_CONDITION_HPP_

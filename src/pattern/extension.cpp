@@ -1,0 +1,109 @@
+#include "pattern/extension.hpp"
+
+#include <bit>
+
+namespace sisd::pattern {
+
+Extension::Extension(size_t n, bool full) : n_(n) {
+  blocks_.assign((n + 63) / 64, full ? ~uint64_t{0} : uint64_t{0});
+  if (full) {
+    count_ = n;
+    RecountAndMaskTail();
+  }
+}
+
+Extension Extension::FromRows(size_t n, const std::vector<size_t>& rows) {
+  Extension out(n);
+  for (size_t i : rows) out.Insert(i);
+  return out;
+}
+
+void Extension::Insert(size_t i) {
+  SISD_DCHECK(i < n_);
+  uint64_t& block = blocks_[i >> 6];
+  const uint64_t bit = uint64_t{1} << (i & 63);
+  if (!(block & bit)) {
+    block |= bit;
+    ++count_;
+  }
+}
+
+void Extension::Erase(size_t i) {
+  SISD_DCHECK(i < n_);
+  uint64_t& block = blocks_[i >> 6];
+  const uint64_t bit = uint64_t{1} << (i & 63);
+  if (block & bit) {
+    block &= ~bit;
+    --count_;
+  }
+}
+
+void Extension::IntersectWith(const Extension& other) {
+  SISD_CHECK(n_ == other.n_);
+  size_t count = 0;
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b] &= other.blocks_[b];
+    count += static_cast<size_t>(std::popcount(blocks_[b]));
+  }
+  count_ = count;
+}
+
+void Extension::UnionWith(const Extension& other) {
+  SISD_CHECK(n_ == other.n_);
+  size_t count = 0;
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b] |= other.blocks_[b];
+    count += static_cast<size_t>(std::popcount(blocks_[b]));
+  }
+  count_ = count;
+}
+
+void Extension::Complement() {
+  for (uint64_t& block : blocks_) block = ~block;
+  RecountAndMaskTail();
+}
+
+Extension Extension::Intersect(const Extension& a, const Extension& b) {
+  Extension out = a;
+  out.IntersectWith(b);
+  return out;
+}
+
+size_t Extension::IntersectionCount(const Extension& a, const Extension& b) {
+  SISD_CHECK(a.n_ == b.n_);
+  size_t count = 0;
+  for (size_t i = 0; i < a.blocks_.size(); ++i) {
+    count += static_cast<size_t>(std::popcount(a.blocks_[i] & b.blocks_[i]));
+  }
+  return count;
+}
+
+std::vector<size_t> Extension::ToRows() const {
+  std::vector<size_t> rows;
+  rows.reserve(count_);
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    uint64_t block = blocks_[b];
+    while (block != 0) {
+      const int bit = std::countr_zero(block);
+      rows.push_back((b << 6) + static_cast<size_t>(bit));
+      block &= block - 1;
+    }
+  }
+  return rows;
+}
+
+void Extension::RecountAndMaskTail() {
+  if (!blocks_.empty()) {
+    const size_t tail_bits = n_ & 63;
+    if (tail_bits != 0) {
+      blocks_.back() &= (uint64_t{1} << tail_bits) - 1;
+    }
+  }
+  size_t count = 0;
+  for (uint64_t block : blocks_) {
+    count += static_cast<size_t>(std::popcount(block));
+  }
+  count_ = count;
+}
+
+}  // namespace sisd::pattern

@@ -1,0 +1,89 @@
+/// \file extension.hpp
+/// \brief Subgroup extensions as packed bitsets.
+///
+/// A subgroup's *extension* is the index set of rows whose description
+/// attributes satisfy the intention (paper §II-A). Beam search intersects
+/// many thousands of candidate extensions per level, so extensions are
+/// 64-bit-block bitsets with hardware popcount.
+
+#ifndef SISD_PATTERN_EXTENSION_HPP_
+#define SISD_PATTERN_EXTENSION_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace sisd::pattern {
+
+/// \brief Fixed-universe bitset over row indices `[0, n)`.
+class Extension {
+ public:
+  /// Creates an extension over `n` rows, empty or full.
+  explicit Extension(size_t n, bool full = false);
+
+  /// Creates an extension from explicit row indices.
+  static Extension FromRows(size_t n, const std::vector<size_t>& rows);
+
+  /// Universe size (number of rows in the data).
+  size_t universe_size() const { return n_; }
+
+  /// Number of rows in the extension (cached popcount).
+  size_t count() const { return count_; }
+
+  /// True iff the extension is empty.
+  bool empty() const { return count_ == 0; }
+
+  /// Membership test.
+  bool Contains(size_t i) const {
+    SISD_DCHECK(i < n_);
+    return (blocks_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Adds row `i`.
+  void Insert(size_t i);
+
+  /// Removes row `i`.
+  void Erase(size_t i);
+
+  /// In-place intersection with `other` (same universe).
+  void IntersectWith(const Extension& other);
+
+  /// In-place union with `other` (same universe).
+  void UnionWith(const Extension& other);
+
+  /// In-place complement.
+  void Complement();
+
+  /// Returns the intersection of two extensions.
+  static Extension Intersect(const Extension& a, const Extension& b);
+
+  /// Size of the intersection without materializing it.
+  static size_t IntersectionCount(const Extension& a, const Extension& b);
+
+  /// True iff the two extensions share no row.
+  static bool Disjoint(const Extension& a, const Extension& b) {
+    return IntersectionCount(a, b) == 0;
+  }
+
+  /// Row indices in ascending order.
+  std::vector<size_t> ToRows() const;
+
+  /// Raw blocks (read-only; 64 rows per block, row 0 = bit 0 of block 0).
+  const std::vector<uint64_t>& blocks() const { return blocks_; }
+
+  bool operator==(const Extension& other) const {
+    return n_ == other.n_ && blocks_ == other.blocks_;
+  }
+
+ private:
+  void RecountAndMaskTail();
+
+  size_t n_ = 0;
+  size_t count_ = 0;
+  std::vector<uint64_t> blocks_;
+};
+
+}  // namespace sisd::pattern
+
+#endif  // SISD_PATTERN_EXTENSION_HPP_

@@ -1,0 +1,79 @@
+#include "pattern/patterns.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace sisd::pattern {
+
+Subgroup Subgroup::FromIntention(const data::DataTable& table,
+                                 Intention intention) {
+  Subgroup out;
+  out.extension = intention.Evaluate(table);
+  out.intention = std::move(intention);
+  return out;
+}
+
+LocationPattern LocationPattern::Compute(Subgroup subgroup,
+                                         const linalg::Matrix& y) {
+  LocationPattern out;
+  out.mean = SubgroupMean(y, subgroup.extension);
+  out.subgroup = std::move(subgroup);
+  return out;
+}
+
+std::string LocationPattern::ToString(const data::DataTable& table) const {
+  return StrFormat("location{%s | n=%zu, mean=%s}",
+                   subgroup.intention.ToString(table).c_str(),
+                   subgroup.Coverage(), mean.ToString().c_str());
+}
+
+SpreadPattern SpreadPattern::Compute(Subgroup subgroup,
+                                     const linalg::Matrix& y,
+                                     const linalg::Vector& w) {
+  SpreadPattern out;
+  out.direction = w.Normalized();
+  out.variance = SubgroupVarianceAlong(y, subgroup.extension, out.direction);
+  out.subgroup = std::move(subgroup);
+  return out;
+}
+
+std::string SpreadPattern::ToString(const data::DataTable& table) const {
+  return StrFormat("spread{%s | n=%zu, w=%s, var=%.6g}",
+                   subgroup.intention.ToString(table).c_str(),
+                   subgroup.Coverage(), direction.ToString().c_str(),
+                   variance);
+}
+
+linalg::Vector SubgroupMean(const linalg::Matrix& y,
+                            const Extension& extension) {
+  SISD_CHECK(!extension.empty());
+  SISD_CHECK(extension.universe_size() == y.rows());
+  linalg::Vector mean(y.cols());
+  for (size_t i : extension.ToRows()) {
+    const double* row = y.RowData(i);
+    for (size_t c = 0; c < y.cols(); ++c) mean[c] += row[c];
+  }
+  mean /= double(extension.count());
+  return mean;
+}
+
+double SubgroupVarianceAlong(const linalg::Matrix& y,
+                             const Extension& extension,
+                             const linalg::Vector& w) {
+  SISD_CHECK(!extension.empty());
+  SISD_CHECK(w.size() == y.cols());
+  const linalg::Vector mean = SubgroupMean(y, extension);
+  const double center = mean.Dot(w);
+  double acc = 0.0;
+  for (size_t i : extension.ToRows()) {
+    const double* row = y.RowData(i);
+    double proj = 0.0;
+    for (size_t c = 0; c < y.cols(); ++c) proj += row[c] * w[c];
+    const double dev = proj - center;
+    acc += dev * dev;
+  }
+  return acc / double(extension.count());
+}
+
+}  // namespace sisd::pattern

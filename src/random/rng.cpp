@@ -1,0 +1,127 @@
+#include "random/rng.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace sisd::random {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SISD_DCHECK(hi > lo);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SISD_DCHECK(hi >= lo);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Gaussian(double mu, double sigma) {
+  SISD_DCHECK(sigma >= 0.0);
+  if (sigma == 0.0) return mu;
+  return std::normal_distribution<double>(mu, sigma)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  SISD_DCHECK(p >= 0.0 && p <= 1.0);
+  return Uniform() < p;
+}
+
+double Rng::ChiSquare(int k) {
+  SISD_DCHECK(k > 0);
+  double acc = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double z = Gaussian();
+    acc += z * z;
+  }
+  return acc;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  SISD_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SISD_DCHECK(w >= 0.0);
+    total += w;
+  }
+  SISD_CHECK(total > 0.0);
+  double u = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SISD_CHECK(k <= n);
+  std::vector<size_t> pool(n);
+  for (size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: first k entries become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+linalg::Vector Rng::GaussianVector(size_t n) {
+  linalg::Vector out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = Gaussian();
+  return out;
+}
+
+linalg::Vector Rng::UnitSphere(size_t n) {
+  SISD_CHECK(n >= 1);
+  while (true) {
+    linalg::Vector v = GaussianVector(n);
+    const double norm = v.Norm();
+    if (norm > 1e-12) {
+      v /= norm;
+      return v;
+    }
+  }
+}
+
+MultivariateNormalSampler::MultivariateNormalSampler(
+    linalg::Vector mu, const linalg::Matrix& sigma)
+    : mu_(std::move(mu)) {
+  SISD_CHECK(sigma.rows() == mu_.size() && sigma.cols() == mu_.size());
+  Result<linalg::Cholesky> chol = linalg::Cholesky::Compute(sigma);
+  chol.status().CheckOK();
+  chol_l_ = chol.Value().L();
+}
+
+linalg::Vector MultivariateNormalSampler::Sample(Rng* rng) const {
+  const linalg::Vector z = rng->GaussianVector(dim());
+  linalg::Vector out = mu_;
+  // out += L z (L lower-triangular).
+  for (size_t r = 0; r < dim(); ++r) {
+    const double* row = chol_l_.RowData(r);
+    double acc = 0.0;
+    for (size_t c = 0; c <= r; ++c) acc += row[c] * z[c];
+    out[r] += acc;
+  }
+  return out;
+}
+
+linalg::Matrix MultivariateNormalSampler::SampleRows(Rng* rng,
+                                                     size_t count) const {
+  linalg::Matrix out(count, dim());
+  for (size_t i = 0; i < count; ++i) {
+    out.SetRow(i, Sample(rng));
+  }
+  return out;
+}
+
+}  // namespace sisd::random

@@ -1,0 +1,180 @@
+#include "search/beam_search.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+namespace sisd::search {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Beam entry: intention as pool-condition indices (sorted = canonical).
+struct BeamEntry {
+  std::vector<uint32_t> condition_ids;
+  pattern::Extension extension{0};
+  double quality = -std::numeric_limits<double>::infinity();
+};
+
+/// Hash for sorted condition-id vectors (FNV-1a over the bytes).
+struct IdVectorHash {
+  size_t operator()(const std::vector<uint32_t>& ids) const {
+    size_t h = 1469598103934665603ull;
+    for (uint32_t id : ids) {
+      h ^= id;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+pattern::Intention MakeIntention(const ConditionPool& pool,
+                                 const std::vector<uint32_t>& ids) {
+  std::vector<pattern::Condition> conditions;
+  conditions.reserve(ids.size());
+  for (uint32_t id : ids) conditions.push_back(pool.condition(id));
+  return pattern::Intention(std::move(conditions));
+}
+
+/// Bounded best-list with canonical-signature dedup.
+class TopList {
+ public:
+  TopList(size_t capacity) : capacity_(capacity) {}
+
+  void Offer(const std::vector<uint32_t>& ids,
+             const pattern::Extension& extension, double quality) {
+    if (entries_.size() >= capacity_ && quality <= WorstQuality()) return;
+    if (!seen_.insert(ids).second) return;
+    BeamEntry entry;
+    entry.condition_ids = ids;
+    entry.extension = extension;
+    entry.quality = quality;
+    entries_.push_back(std::move(entry));
+    std::push_heap(entries_.begin(), entries_.end(), BetterQuality);
+    if (entries_.size() > capacity_) {
+      std::pop_heap(entries_.begin(), entries_.end(), BetterQuality);
+      seen_erase_candidates_.push_back(
+          std::move(entries_.back().condition_ids));
+      entries_.pop_back();
+    }
+  }
+
+  std::vector<BeamEntry> SortedDescending() {
+    std::vector<BeamEntry> out = entries_;
+    std::sort(out.begin(), out.end(), [](const BeamEntry& a,
+                                         const BeamEntry& b) {
+      return a.quality > b.quality;
+    });
+    return out;
+  }
+
+ private:
+  /// Min-heap comparator on quality (heap root = worst entry).
+  static bool BetterQuality(const BeamEntry& a, const BeamEntry& b) {
+    return a.quality > b.quality;
+  }
+
+  double WorstQuality() const {
+    return entries_.empty()
+               ? -std::numeric_limits<double>::infinity()
+               : entries_.front().quality;
+  }
+
+  size_t capacity_;
+  std::vector<BeamEntry> entries_;  // min-heap on quality
+  std::unordered_set<std::vector<uint32_t>, IdVectorHash> seen_;
+  // Signatures evicted from the list stay in `seen_` on purpose: an evicted
+  // candidate had lower quality than everything kept, so re-offering it can
+  // never improve the list. Kept alive here only to document the decision.
+  std::vector<std::vector<uint32_t>> seen_erase_candidates_;
+};
+
+}  // namespace
+
+SearchResult BeamSearch(const data::DataTable& table,
+                        const ConditionPool& pool, const SearchConfig& config,
+                        const QualityFunction& quality) {
+  SISD_CHECK(config.beam_width >= 1);
+  SISD_CHECK(config.max_depth >= 1);
+  const size_t n = table.num_rows();
+  // Empty extensions are never valid subgroups (their statistics are
+  // undefined), so the coverage floor is at least 1.
+  const size_t min_coverage = std::max<size_t>(config.min_coverage, 1);
+  const size_t max_coverage = static_cast<size_t>(
+      config.max_coverage_fraction * double(n));
+
+  SearchResult result;
+  TopList top_list(config.top_k);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             std::isfinite(config.time_budget_seconds)
+                                 ? config.time_budget_seconds
+                                 : 1e9));
+
+  std::unordered_set<std::vector<uint32_t>, IdVectorHash> evaluated;
+  std::vector<BeamEntry> beam;
+
+  // Level 1 candidates: every pool condition. Deeper levels: beam x pool.
+  for (int depth = 1; depth <= config.max_depth; ++depth) {
+    TopList level_best(static_cast<size_t>(config.beam_width));
+    const std::vector<BeamEntry>* parents = nullptr;
+    BeamEntry root;  // empty intention (depth-1 parent)
+    std::vector<BeamEntry> root_vec;
+    if (depth == 1) {
+      root.extension = pattern::Extension(n, /*full=*/true);
+      root_vec.push_back(std::move(root));
+      parents = &root_vec;
+    } else {
+      parents = &beam;
+    }
+    if (parents->empty()) break;
+
+    for (const BeamEntry& parent : *parents) {
+      if (Clock::now() >= deadline) {
+        result.hit_time_budget = true;
+        break;
+      }
+      // Reconstruct the parent's intention once for the constraint checks.
+      pattern::Intention parent_intention =
+          MakeIntention(pool, parent.condition_ids);
+      for (uint32_t cid = 0; cid < pool.size(); ++cid) {
+        const pattern::Condition& cond = pool.condition(cid);
+        if (!parent_intention.AllowsRefinementWith(cond)) continue;
+        std::vector<uint32_t> ids = parent.condition_ids;
+        ids.insert(std::upper_bound(ids.begin(), ids.end(), cid), cid);
+        if (!evaluated.insert(ids).second) continue;
+
+        pattern::Extension extension =
+            pattern::Extension::Intersect(parent.extension,
+                                          pool.extension(cid));
+        if (extension.count() < min_coverage ||
+            extension.count() > max_coverage || extension.count() == n) {
+          continue;
+        }
+        const pattern::Intention intention = MakeIntention(pool, ids);
+        const double q = quality(intention, extension);
+        ++result.num_evaluated;
+        if (q == -std::numeric_limits<double>::infinity()) continue;
+        level_best.Offer(ids, extension, q);
+        top_list.Offer(ids, extension, q);
+      }
+      if (result.hit_time_budget) break;
+    }
+    beam = level_best.SortedDescending();
+    if (result.hit_time_budget) break;
+  }
+
+  for (BeamEntry& entry : top_list.SortedDescending()) {
+    ScoredSubgroup scored;
+    scored.intention = MakeIntention(pool, entry.condition_ids);
+    scored.extension = std::move(entry.extension);
+    scored.quality = entry.quality;
+    result.top.push_back(std::move(scored));
+  }
+  return result;
+}
+
+}  // namespace sisd::search

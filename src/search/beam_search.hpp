@@ -1,0 +1,77 @@
+/// \file beam_search.hpp
+/// \brief Level-wise beam search over conjunctions of conditions
+/// (paper §II-D, "Location pattern").
+///
+/// The search is generic in the quality function, so the same engine drives
+/// (a) the SI-based location-pattern search of the paper and (b) the
+/// baseline quality measures used for comparison. Candidates are scored via
+/// a callback; the beam keeps the `beam_width` best per level and a global
+/// top-`k` list collects the best subgroups seen anywhere in the search.
+
+#ifndef SISD_SEARCH_BEAM_SEARCH_HPP_
+#define SISD_SEARCH_BEAM_SEARCH_HPP_
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+#include "pattern/condition.hpp"
+#include "pattern/extension.hpp"
+#include "search/condition_pool.hpp"
+
+namespace sisd::search {
+
+/// \brief Beam search settings (defaults = the paper's Cortana settings).
+struct SearchConfig {
+  int beam_width = 40;       ///< candidates kept per level
+  int max_depth = 4;         ///< maximum number of conditions
+  int num_split_points = 4;  ///< numeric split points (1/5..4/5 percentiles)
+  size_t top_k = 150;        ///< size of the global result list
+  size_t min_coverage = 2;   ///< minimum subgroup size
+  /// Maximum subgroup size as a fraction of the data (1.0 = no limit other
+  /// than "not all rows", which is enforced by the condition pool).
+  double max_coverage_fraction = 1.0;
+  /// Wall-clock budget; the search stops gracefully when exceeded.
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// \brief Quality callback: returns the score of a candidate subgroup.
+/// Return -inf to reject a candidate entirely (it will not enter the beam
+/// nor the result list).
+using QualityFunction = std::function<double(
+    const pattern::Intention&, const pattern::Extension&)>;
+
+/// \brief One scored subgroup in the search output.
+struct ScoredSubgroup {
+  pattern::Intention intention;
+  pattern::Extension extension{0};
+  double quality = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Outcome of a beam search run.
+struct SearchResult {
+  /// Top subgroups in descending quality order (deduplicated by canonical
+  /// intention signature).
+  std::vector<ScoredSubgroup> top;
+  /// Number of candidate evaluations performed.
+  size_t num_evaluated = 0;
+  /// True iff the search stopped because of the time budget.
+  bool hit_time_budget = false;
+
+  /// The single best subgroup; aborts when `top` is empty.
+  const ScoredSubgroup& best() const {
+    SISD_CHECK(!top.empty());
+    return top.front();
+  }
+};
+
+/// \brief Runs beam search over `pool` with quality `quality`.
+SearchResult BeamSearch(const data::DataTable& table,
+                        const ConditionPool& pool, const SearchConfig& config,
+                        const QualityFunction& quality);
+
+}  // namespace sisd::search
+
+#endif  // SISD_SEARCH_BEAM_SEARCH_HPP_

@@ -1,0 +1,46 @@
+#include "search/condition_pool.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace sisd::search {
+
+ConditionPool ConditionPool::Build(const data::DataTable& table,
+                                   int num_splits) {
+  ConditionPool pool;
+  const size_t n = table.num_rows();
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    const data::Column& col = table.column(j);
+    std::vector<pattern::Condition> candidates;
+    if (data::IsOrderable(col.kind())) {
+      const std::vector<double> splits =
+          stats::QuantileSplitPoints(col.numeric_values(), num_splits);
+      for (double split : splits) {
+        candidates.push_back(pattern::Condition::LessEqual(j, split));
+        candidates.push_back(pattern::Condition::GreaterEqual(j, split));
+      }
+    } else {
+      for (size_t level = 0; level < col.NumLevels(); ++level) {
+        candidates.push_back(
+            pattern::Condition::Equals(j, static_cast<int32_t>(level)));
+      }
+      // Set-exclusion conditions (§II-A) are only non-redundant when the
+      // attribute has at least three levels (for binary attributes
+      // `!= v` equals `== !v`).
+      if (col.NumLevels() >= 3) {
+        for (size_t level = 0; level < col.NumLevels(); ++level) {
+          candidates.push_back(
+              pattern::Condition::NotEquals(j, static_cast<int32_t>(level)));
+        }
+      }
+    }
+    for (const pattern::Condition& c : candidates) {
+      pattern::Extension ext = c.Evaluate(table);
+      if (ext.count() == 0 || ext.count() == n) continue;  // vacuous
+      pool.conditions_.push_back(c);
+      pool.extensions_.push_back(std::move(ext));
+    }
+  }
+  return pool;
+}
+
+}  // namespace sisd::search

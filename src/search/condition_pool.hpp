@@ -1,0 +1,51 @@
+/// \file condition_pool.hpp
+/// \brief The refinement alphabet of the beam search: all single-attribute
+/// conditions considered, with precomputed row bitmasks.
+///
+/// Following the paper's Cortana settings (§III): numeric (and ordinal)
+/// attributes contribute `<=` and `>=` conditions at `num_splits` quantile
+/// split points (default 4: the 1/5..4/5 percentiles); categorical and
+/// binary attributes contribute one equality condition per level.
+
+#ifndef SISD_SEARCH_CONDITION_POOL_HPP_
+#define SISD_SEARCH_CONDITION_POOL_HPP_
+
+#include <vector>
+
+#include "data/table.hpp"
+#include "pattern/condition.hpp"
+#include "pattern/extension.hpp"
+
+namespace sisd::search {
+
+/// \brief Precomputed candidate conditions + their extensions.
+class ConditionPool {
+ public:
+  /// Builds the pool for `table` with `num_splits` quantile split points per
+  /// numeric attribute. Conditions that match no row or all rows are kept
+  /// out of the pool (they cannot change any extension).
+  static ConditionPool Build(const data::DataTable& table, int num_splits = 4);
+
+  /// Number of conditions in the pool.
+  size_t size() const { return conditions_.size(); }
+
+  /// Condition by pool index.
+  const pattern::Condition& condition(size_t idx) const {
+    SISD_DCHECK(idx < conditions_.size());
+    return conditions_[idx];
+  }
+
+  /// Precomputed extension (matching rows) of condition `idx`.
+  const pattern::Extension& extension(size_t idx) const {
+    SISD_DCHECK(idx < extensions_.size());
+    return extensions_[idx];
+  }
+
+ private:
+  std::vector<pattern::Condition> conditions_;
+  std::vector<pattern::Extension> extensions_;
+};
+
+}  // namespace sisd::search
+
+#endif  // SISD_SEARCH_CONDITION_POOL_HPP_

@@ -1,0 +1,54 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace sisd::stats {
+
+KernelDensity::KernelDensity(std::vector<double> sample, double bandwidth)
+    : sample_(std::move(sample)), bandwidth_(bandwidth) {
+  SISD_CHECK(!sample_.empty());
+  SISD_CHECK(bandwidth_ > 0.0);
+}
+
+KernelDensity KernelDensity::WithSilvermanBandwidth(
+    std::vector<double> sample) {
+  SISD_CHECK(!sample.empty());
+  RunningStats rs;
+  for (double v : sample) rs.Add(v);
+  const double sd = std::sqrt(rs.VarianceSample());
+  const double iqr =
+      Quantile(sample, 0.75) - Quantile(sample, 0.25);
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(spread, iqr / 1.34);
+  if (spread <= 0.0) spread = std::max(std::fabs(rs.Mean()), 1.0) * 1e-3;
+  const double h =
+      0.9 * spread * std::pow(double(sample.size()), -0.2);
+  return KernelDensity(std::move(sample), std::max(h, 1e-12));
+}
+
+double KernelDensity::Density(double x) const {
+  double acc = 0.0;
+  for (double xi : sample_) {
+    acc += NormalPdf((x - xi) / bandwidth_);
+  }
+  return acc / (double(sample_.size()) * bandwidth_);
+}
+
+std::vector<double> KernelDensity::DensityOnGrid(double lo, double hi,
+                                                 int num_points) const {
+  SISD_CHECK(num_points >= 2);
+  SISD_CHECK(hi > lo);
+  std::vector<double> out(static_cast<size_t>(num_points));
+  const double step = (hi - lo) / double(num_points - 1);
+  for (int i = 0; i < num_points; ++i) {
+    out[static_cast<size_t>(i)] = Density(lo + step * i);
+  }
+  return out;
+}
+
+}  // namespace sisd::stats

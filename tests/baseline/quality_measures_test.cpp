@@ -1,0 +1,98 @@
+#include "baseline/quality_measures.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sisd::baseline {
+namespace {
+
+using linalg::Matrix;
+using pattern::Extension;
+
+Matrix MakeTargets() {
+  // 8 rows; rows 0-3 have elevated values.
+  Matrix y(8, 1);
+  const double values[8] = {5.0, 6.0, 5.5, 5.5, 1.0, 2.0, 1.5, 1.5};
+  for (size_t i = 0; i < 8; ++i) y(i, 0) = values[i];
+  return y;
+}
+
+TEST(TargetSummaryTest, ComputesMoments) {
+  const Matrix y = MakeTargets();
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  EXPECT_DOUBLE_EQ(summary.mean, 3.5);
+  EXPECT_EQ(summary.n, 8u);
+  EXPECT_GT(summary.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(summary.median, 3.5);
+}
+
+TEST(ZScoreQualityTest, ElevatedSubgroupScoresHigh) {
+  const Matrix y = MakeTargets();
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  const Extension hot = Extension::FromRows(8, {0, 1, 2, 3});
+  const Extension random = Extension::FromRows(8, {0, 4, 1, 5});
+  EXPECT_GT(ZScoreQuality(y, 0, summary, hot),
+            ZScoreQuality(y, 0, summary, random));
+  // Mean of the mixed subgroup equals the global mean: z = 0.
+  EXPECT_NEAR(ZScoreQuality(y, 0, summary, random), 0.0, 1e-12);
+}
+
+TEST(ZScoreQualityTest, ScalesWithSqrtSize) {
+  Matrix y(100, 1);
+  for (size_t i = 0; i < 100; ++i) y(i, 0) = (i < 50) ? 1.0 : -1.0;
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  const Extension small = Extension::FromRows(100, {0, 1});
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < 8; ++i) rows.push_back(i);
+  const Extension big = Extension::FromRows(100, rows);
+  EXPECT_NEAR(ZScoreQuality(y, 0, summary, big),
+              2.0 * ZScoreQuality(y, 0, summary, small), 1e-9);
+}
+
+TEST(WraccQualityTest, SignReflectsDirection) {
+  const Matrix y = MakeTargets();
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  const Extension hot = Extension::FromRows(8, {0, 1});
+  const Extension cold = Extension::FromRows(8, {4, 5});
+  EXPECT_GT(WraccQuality(y, 0, summary, hot), 0.0);
+  EXPECT_LT(WraccQuality(y, 0, summary, cold), 0.0);
+  // Coverage factor: (2/8) * (5.5 - 3.5) = 0.5.
+  EXPECT_NEAR(WraccQuality(y, 0, summary, hot), 0.5, 1e-12);
+}
+
+TEST(DispersionCorrectedQualityTest, PenalizesSpreadOutSubgroups) {
+  Matrix y(10, 1);
+  // Tight displaced subgroup rows 0-2; loose displaced subgroup rows 3-5.
+  const double values[10] = {5.0, 5.0, 5.0, 3.0, 5.0, 9.0,
+                             0.0, 0.1, -0.1, 0.0};
+  for (size_t i = 0; i < 10; ++i) y(i, 0) = values[i];
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  const Extension tight = Extension::FromRows(10, {0, 1, 2});
+  const Extension loose = Extension::FromRows(10, {3, 4, 5});
+  EXPECT_GT(DispersionCorrectedQuality(y, 0, summary, tight),
+            DispersionCorrectedQuality(y, 0, summary, loose));
+}
+
+TEST(MakeBaselineQualityTest, WrapsAllMeasures) {
+  const Matrix y = MakeTargets();
+  const Extension hot = Extension::FromRows(8, {0, 1, 2, 3});
+  const pattern::Intention empty_intent;
+  for (BaselineMeasure measure :
+       {BaselineMeasure::kZScore, BaselineMeasure::kWracc,
+        BaselineMeasure::kDispersionCorrected}) {
+    search::QualityFunction q = MakeBaselineQuality(y, 0, measure);
+    EXPECT_GT(q(empty_intent, hot), 0.0);
+  }
+}
+
+TEST(MakeBaselineQualityTest, WraccIsTwoSided) {
+  const Matrix y = MakeTargets();
+  const Extension cold = Extension::FromRows(8, {4, 5, 6, 7});
+  search::QualityFunction q =
+      MakeBaselineQuality(y, 0, BaselineMeasure::kWracc);
+  EXPECT_GT(q(pattern::Intention(), cold), 0.0);  // absolute value
+}
+
+}  // namespace
+}  // namespace sisd::baseline

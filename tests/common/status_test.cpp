@@ -1,0 +1,126 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sisd {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("ae").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IOError("io").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NumericalError("num").code(),
+            StatusCode::kNumericalError);
+  EXPECT_EQ(Status::NotImplemented("ni").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Unknown("u").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::IOError("io").message(), "io");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("negative width").ToString(),
+            "InvalidArgument: negative width");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericalError),
+               "NumericalError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r(std::string("hello"));
+  std::string moved = std::move(r).MoveValue();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(ResultTest, ErrorFromOkStatusBecomesUnknown) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnknown);
+}
+
+Status FailingOperation() { return Status::IOError("disk on fire"); }
+
+Status UsesReturnNotOk() {
+  SISD_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kIOError);
+}
+
+Result<int> ProducesInt(bool fail) {
+  if (fail) return Status::InvalidArgument("nope");
+  return 5;
+}
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  SISD_ASSIGN_OR_RETURN(v, ProducesInt(fail));
+  return v + 1;
+}
+
+TEST(MacroTest, AssignOrReturnExtractsValue) {
+  Result<int> ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.Value(), 6);
+}
+
+TEST(MacroTest, AssignOrReturnPropagatesError) {
+  Result<int> bad = UsesAssignOrReturn(true);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  SISD_CHECK(1 + 1 == 2);
+  SISD_DCHECK(2 + 2 == 4);
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(SISD_CHECK(false), "SISD_CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace sisd

@@ -1,0 +1,84 @@
+#include "data/column.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sisd::data {
+namespace {
+
+TEST(AttributeKindTest, NamesAndOrderability) {
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kNumeric), "numeric");
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kOrdinal), "ordinal");
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kCategorical),
+               "categorical");
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kBinary), "binary");
+  EXPECT_TRUE(IsOrderable(AttributeKind::kNumeric));
+  EXPECT_TRUE(IsOrderable(AttributeKind::kOrdinal));
+  EXPECT_FALSE(IsOrderable(AttributeKind::kCategorical));
+  EXPECT_FALSE(IsOrderable(AttributeKind::kBinary));
+}
+
+TEST(ColumnTest, NumericColumn) {
+  Column col = Column::Numeric("x", {1.5, 2.5, 3.5});
+  EXPECT_EQ(col.name(), "x");
+  EXPECT_EQ(col.kind(), AttributeKind::kNumeric);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col.NumericValue(1), 2.5);
+  EXPECT_EQ(col.numeric_values().size(), 3u);
+  EXPECT_EQ(col.ValueToString(0), "1.5");
+}
+
+TEST(ColumnTest, OrdinalColumnKeepsNumericSemantics) {
+  Column col = Column::Ordinal("density", {0.0, 1.0, 3.0, 5.0});
+  EXPECT_EQ(col.kind(), AttributeKind::kOrdinal);
+  EXPECT_TRUE(IsOrderable(col.kind()));
+  EXPECT_DOUBLE_EQ(col.NumericValue(2), 3.0);
+}
+
+TEST(ColumnTest, CategoricalColumn) {
+  Column col = Column::Categorical("color", {0, 1, 0, 2},
+                                   {"red", "green", "blue"});
+  EXPECT_EQ(col.kind(), AttributeKind::kCategorical);
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.NumLevels(), 3u);
+  EXPECT_EQ(col.Code(3), 2);
+  EXPECT_EQ(col.Label(1), "green");
+  EXPECT_EQ(col.ValueToString(1), "green");
+}
+
+TEST(ColumnTest, CategoricalFromStringsAssignsCodesInOrder) {
+  Column col = Column::CategoricalFromStrings(
+      "city", {"ghent", "aalto", "ghent", "eindhoven"});
+  EXPECT_EQ(col.NumLevels(), 3u);
+  EXPECT_EQ(col.Code(0), 0);
+  EXPECT_EQ(col.Code(1), 1);
+  EXPECT_EQ(col.Code(2), 0);
+  EXPECT_EQ(col.Code(3), 2);
+  EXPECT_EQ(col.Label(0), "ghent");
+  EXPECT_EQ(col.Label(2), "eindhoven");
+}
+
+TEST(ColumnTest, BinaryColumnDefaults) {
+  Column col = Column::Binary("flag", {true, false, true});
+  EXPECT_EQ(col.kind(), AttributeKind::kBinary);
+  EXPECT_EQ(col.NumLevels(), 2u);
+  EXPECT_EQ(col.Code(0), 1);
+  EXPECT_EQ(col.Code(1), 0);
+  EXPECT_EQ(col.Label(0), "0");
+  EXPECT_EQ(col.Label(1), "1");
+  EXPECT_EQ(col.ValueToString(0), "1");
+}
+
+TEST(ColumnTest, BinaryColumnCustomLabels) {
+  Column col = Column::Binary("present", {false, true}, "absent", "present");
+  EXPECT_EQ(col.ValueToString(0), "absent");
+  EXPECT_EQ(col.ValueToString(1), "present");
+}
+
+#ifndef NDEBUG
+TEST(ColumnDeathTest, CategoricalRejectsBadCodes) {
+  EXPECT_DEATH(Column::Categorical("bad", {0, 5}, {"only"}), "SISD_CHECK");
+}
+#endif
+
+}  // namespace
+}  // namespace sisd::data

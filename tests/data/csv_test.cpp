@@ -1,0 +1,228 @@
+#include "data/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+
+namespace sisd::data {
+namespace {
+
+using random::Rng;
+
+TEST(ReadCsvTest, InfersNumericAndCategorical) {
+  const std::string csv =
+      "age,city,score\n"
+      "30,ghent,1.5\n"
+      "41,aalto,2.5\n"
+      "28,ghent,3.0\n";
+  Result<DataTable> table = ReadCsvText(csv);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.Value().num_rows(), 3u);
+  EXPECT_EQ(table.Value().num_columns(), 3u);
+  EXPECT_EQ(table.Value().column(0).kind(), AttributeKind::kNumeric);
+  EXPECT_EQ(table.Value().column(1).kind(), AttributeKind::kCategorical);
+  EXPECT_EQ(table.Value().column(2).kind(), AttributeKind::kNumeric);
+  EXPECT_DOUBLE_EQ(table.Value().column(0).NumericValue(1), 41.0);
+  EXPECT_EQ(table.Value().column(1).ValueToString(1), "aalto");
+}
+
+TEST(ReadCsvTest, ZeroOneColumnsBecomeBinary) {
+  const std::string csv = "flag,x\n0,1.5\n1,2.5\n0,3.5\n";
+  Result<DataTable> table = ReadCsvText(csv);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.Value().column(0).kind(), AttributeKind::kBinary);
+  EXPECT_EQ(table.Value().column(0).Code(1), 1);
+}
+
+TEST(ReadCsvTest, KindOverridesWin) {
+  CsvOptions options;
+  options.kind_overrides["level"] = AttributeKind::kOrdinal;
+  options.kind_overrides["flag"] = AttributeKind::kNumeric;
+  const std::string csv = "level,flag\n0,0\n3,1\n5,0\n";
+  Result<DataTable> table = ReadCsvText(csv, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.Value().column(0).kind(), AttributeKind::kOrdinal);
+  EXPECT_EQ(table.Value().column(1).kind(), AttributeKind::kNumeric);
+}
+
+TEST(ReadCsvTest, QuotedFieldsAndEscapes) {
+  const std::string csv =
+      "name,value\n"
+      "\"contains, comma\",1\n"
+      "\"has \"\"quotes\"\"\",2\n";
+  Result<DataTable> table = ReadCsvText(csv);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.Value().column(0).ValueToString(0), "contains, comma");
+  EXPECT_EQ(table.Value().column(0).ValueToString(1), "has \"quotes\"");
+}
+
+TEST(ReadCsvTest, DropsRowsWithMissingValues) {
+  const std::string csv = "a,b\n1,2\nNA,3\n4,\n5,6\n";
+  Result<DataTable> table = ReadCsvText(csv);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.Value().num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.Value().column(0).NumericValue(1), 5.0);
+}
+
+TEST(ReadCsvTest, NoHeaderGeneratesNames) {
+  CsvOptions options;
+  options.has_header = false;
+  Result<DataTable> table = ReadCsvText("1,2\n3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table.Value().HasColumn("col0"));
+  EXPECT_TRUE(table.Value().HasColumn("col1"));
+}
+
+TEST(ReadCsvTest, CustomSeparator) {
+  CsvOptions options;
+  options.separator = ';';
+  Result<DataTable> table = ReadCsvText("a;b\n1;2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.Value().num_columns(), 2u);
+}
+
+TEST(ReadCsvTest, ErrorsOnMalformedInput) {
+  EXPECT_EQ(ReadCsvText("").status().code(), StatusCode::kIOError);
+  EXPECT_EQ(ReadCsvText("a,b\n1\n").status().code(), StatusCode::kIOError);
+  EXPECT_EQ(ReadCsvText("a\n\"unterminated\n").status().code(),
+            StatusCode::kIOError);
+  // Header only, no data rows.
+  EXPECT_EQ(ReadCsvText("a,b\n").status().code(), StatusCode::kIOError);
+}
+
+TEST(ReadCsvTest, HandlesCrLfLineEndings) {
+  Result<DataTable> table = ReadCsvText("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.Value().num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.Value().column(1).NumericValue(1), 4.0);
+}
+
+TEST(WriteCsvTest, RoundTripsThroughText) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("x", {1.5, 2.0})).ok());
+  ASSERT_TRUE(table.AddColumn(Column::CategoricalFromStrings(
+      "label", {"has, comma", "plain"})).ok());
+  const std::string csv = WriteCsvText(table);
+  Result<DataTable> parsed = ReadCsvText(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.Value().num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.Value().column(0).NumericValue(0), 1.5);
+  EXPECT_EQ(parsed.Value().column(1).ValueToString(0), "has, comma");
+}
+
+TEST(WriteCsvTest, FileRoundTrip) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("v", {9.0, 8.0, 7.0})).ok());
+  const std::string path = ::testing::TempDir() + "/sisd_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  Result<DataTable> parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.Value().num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.Value().column(0).NumericValue(2), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(ReadCsvFileTest, MissingFileErrors) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/definitely_missing.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(MakeDatasetTest, SplitsTargetsFromDescriptions) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("d1", {1.0, 2.0})).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("t1", {5.0, 6.0})).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Binary("d2", {true, false})).ok());
+  Result<Dataset> ds = MakeDataset(table, {"t1"}, "demo");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds.Value().name, "demo");
+  EXPECT_EQ(ds.Value().num_targets(), 1u);
+  EXPECT_DOUBLE_EQ(ds.Value().targets(1, 0), 6.0);
+  EXPECT_EQ(ds.Value().num_descriptions(), 2u);
+  EXPECT_FALSE(ds.Value().descriptions.HasColumn("t1"));
+}
+
+TEST(MakeDatasetTest, MultipleTargetsPreserveOrder) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("a", {1.0})).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("b", {2.0})).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("c", {3.0})).ok());
+  Result<Dataset> ds = MakeDataset(table, {"c", "a"});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(ds.Value().targets(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(ds.Value().targets(0, 1), 1.0);
+}
+
+class CsvRoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CsvRoundTripPropertyTest, RandomTablesSurviveRoundTrip) {
+  random::Rng rng(GetParam());
+  DataTable table;
+  const size_t rows = 5 + static_cast<size_t>(rng.UniformInt(0, 40));
+  const int num_cols = 2 + static_cast<int>(rng.UniformInt(0, 5));
+  for (int j = 0; j < num_cols; ++j) {
+    const std::string name = "c" + std::to_string(j);
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {
+        std::vector<double> values(rows);
+        // Values with few decimals so the %.6g text form is lossless.
+        for (double& v : values) {
+          v = double(rng.UniformInt(-10000, 10000)) / 16.0;
+        }
+        ASSERT_TRUE(table.AddColumn(Column::Numeric(name, values)).ok());
+        break;
+      }
+      case 1: {
+        std::vector<bool> bits(rows);
+        for (size_t i = 0; i < rows; ++i) bits[i] = rng.Bernoulli(0.5);
+        ASSERT_TRUE(table.AddColumn(Column::Binary(name, bits)).ok());
+        break;
+      }
+      default: {
+        static const char* kLabels[] = {"alpha", "beta, with comma",
+                                        "gamma \"quoted\"", "delta"};
+        std::vector<std::string> values(rows);
+        for (std::string& v : values) {
+          v = kLabels[rng.UniformInt(0, 3)];
+        }
+        ASSERT_TRUE(table
+                        .AddColumn(Column::CategoricalFromStrings(name,
+                                                                  values))
+                        .ok());
+        break;
+      }
+    }
+  }
+  const std::string csv = WriteCsvText(table);
+  Result<DataTable> parsed = ReadCsvText(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.Value().num_rows(), table.num_rows());
+  ASSERT_EQ(parsed.Value().num_columns(), table.num_columns());
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      EXPECT_EQ(parsed.Value().column(j).ValueToString(i),
+                table.column(j).ValueToString(i))
+          << "col " << j << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(MakeDatasetTest, RejectsBadTargetSpecs) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("a", {1.0})).ok());
+  ASSERT_TRUE(table.AddColumn(
+      Column::CategoricalFromStrings("cat", {"x"})).ok());
+  EXPECT_FALSE(MakeDataset(table, {}).ok());
+  EXPECT_FALSE(MakeDataset(table, {"missing"}).ok());
+  EXPECT_FALSE(MakeDataset(table, {"cat"}).ok());
+  EXPECT_FALSE(MakeDataset(table, {"a", "a"}).ok());
+}
+
+}  // namespace
+}  // namespace sisd::data

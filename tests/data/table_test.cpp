@@ -1,0 +1,83 @@
+#include "data/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sisd::data {
+namespace {
+
+TEST(DataTableTest, EmptyTable) {
+  DataTable table;
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_EQ(table.num_columns(), 0u);
+  EXPECT_FALSE(table.HasColumn("x"));
+  EXPECT_FALSE(table.ColumnIndex("x").ok());
+}
+
+TEST(DataTableTest, AddAndLookupColumns) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("x", {1.0, 2.0})).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Binary("b", {true, false})).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_TRUE(table.HasColumn("x"));
+  EXPECT_EQ(table.ColumnIndex("b").Value(), 1u);
+  EXPECT_EQ(table.ColumnByName("x").Value()->name(), "x");
+  EXPECT_EQ(table.column(1).name(), "b");
+  const std::vector<std::string> names = table.ColumnNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(DataTableTest, RejectsDuplicateNames) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("x", {1.0})).ok());
+  Status st = table.AddColumn(Column::Numeric("x", {2.0}));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DataTableTest, RejectsLengthMismatch) {
+  DataTable table;
+  ASSERT_TRUE(table.AddColumn(Column::Numeric("x", {1.0, 2.0})).ok());
+  Status st = table.AddColumn(Column::Numeric("y", {1.0}));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, ValidatesConsistency) {
+  Dataset ds;
+  ds.name = "test";
+  ds.targets = linalg::Matrix(3, 2);
+  ds.target_names = {"t1", "t2"};
+  ASSERT_TRUE(ds.descriptions.AddColumn(
+      Column::Numeric("x", {1.0, 2.0, 3.0})).ok());
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.num_targets(), 2u);
+  EXPECT_EQ(ds.num_descriptions(), 1u);
+}
+
+TEST(DatasetTest, DetectsRowMismatch) {
+  Dataset ds;
+  ds.targets = linalg::Matrix(3, 1);
+  ds.target_names = {"t"};
+  ASSERT_TRUE(ds.descriptions.AddColumn(Column::Numeric("x", {1.0})).ok());
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, DetectsNameCountMismatch) {
+  Dataset ds;
+  ds.targets = linalg::Matrix(2, 2);
+  ds.target_names = {"only_one"};
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, DetectsNonFiniteTargets) {
+  Dataset ds;
+  ds.targets = linalg::Matrix(2, 1);
+  ds.targets(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  ds.target_names = {"t"};
+  EXPECT_EQ(ds.Validate().code(), StatusCode::kNumericalError);
+}
+
+}  // namespace
+}  // namespace sisd::data

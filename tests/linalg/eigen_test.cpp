@@ -1,0 +1,141 @@
+#include "linalg/eigen.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+
+namespace sisd::linalg {
+namespace {
+
+TEST(EigenTest, DiagonalMatrixEigenvaluesSortedDescending) {
+  Matrix d = Matrix::Diagonal(Vector{1.0, 5.0, 3.0});
+  Result<EigenDecomposition> eig = SymmetricEigen(d);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.Value().eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig.Value().eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.Value().eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors
+  // (1, 1)/sqrt2 and (1, -1)/sqrt2.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.Value().eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.Value().eigenvalues[1], 1.0, 1e-12);
+  const Vector v0 = eig.Value().Eigenvector(0);
+  EXPECT_NEAR(std::fabs(v0[0]), std::fabs(v0[1]), 1e-10);
+}
+
+TEST(EigenTest, RejectsNonSquareAndNonFinite) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+  Matrix bad{{1.0, 0.0}, {0.0, std::nan("")}};
+  EXPECT_FALSE(SymmetricEigen(bad).ok());
+}
+
+TEST(EigenTest, HandlesOneByOne) {
+  Matrix a{{4.0}};
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.Value().eigenvalues[0], 4.0, 1e-14);
+  EXPECT_NEAR(std::fabs(eig.Value().eigenvectors(0, 0)), 1.0, 1e-14);
+}
+
+TEST(EigenTest, RepeatedEigenvaluesStillOrthonormal) {
+  // Identity has a fully degenerate spectrum; the eigenvector basis must
+  // still be orthonormal and reconstruct the matrix.
+  Matrix a = Matrix::Identity(4);
+  a(0, 0) = 3.0;  // one distinct eigenvalue + a triple eigenvalue 1
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.Value().eigenvalues[0], 3.0, 1e-12);
+  for (size_t k = 1; k < 4; ++k) {
+    EXPECT_NEAR(eig.Value().eigenvalues[k], 1.0, 1e-12);
+  }
+  const Matrix& v = eig.Value().eigenvectors;
+  EXPECT_LT(MaxAbsDiff(v.Transposed().MatMul(v), Matrix::Identity(4)),
+            1e-10);
+}
+
+TEST(EigenTest, ZeroMatrix) {
+  Result<EigenDecomposition> eig = SymmetricEigen(Matrix(3, 3));
+  ASSERT_TRUE(eig.ok());
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(eig.Value().eigenvalues[k], 0.0, 1e-14);
+  }
+}
+
+TEST(EigenTest, OrDieWrapperReturns) {
+  const EigenDecomposition eig = SymmetricEigenOrDie(Matrix::Identity(3));
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-14);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenPropertyTest, ReconstructsMatrix) {
+  random::Rng rng(500 + GetParam());
+  const size_t n = GetParam();
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c <= r; ++c) {
+      const double v = rng.Gaussian();
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  }
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig.Value().eigenvectors;
+  const Matrix lambda = Matrix::Diagonal(eig.Value().eigenvalues);
+  const Matrix reconstructed = v.MatMul(lambda).MatMul(v.Transposed());
+  EXPECT_LT(MaxAbsDiff(reconstructed, a), 1e-9 * std::max(1.0, a.MaxAbs()));
+}
+
+TEST_P(EigenPropertyTest, EigenvectorsAreOrthonormal) {
+  random::Rng rng(900 + GetParam());
+  const size_t n = GetParam();
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c <= r; ++c) {
+      const double v = rng.Gaussian();
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  }
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig.Value().eigenvectors;
+  const Matrix gram = v.Transposed().MatMul(v);
+  EXPECT_LT(MaxAbsDiff(gram, Matrix::Identity(n)), 1e-10);
+}
+
+TEST_P(EigenPropertyTest, SatisfiesEigenEquation) {
+  random::Rng rng(1300 + GetParam());
+  const size_t n = GetParam();
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c <= r; ++c) {
+      const double v = rng.Gaussian();
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  }
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t k = 0; k < n; ++k) {
+    const Vector v = eig.Value().Eigenvector(k);
+    const Vector av = a.MatVec(v);
+    const Vector lv = v * eig.Value().eigenvalues[k];
+    EXPECT_LT(MaxAbsDiff(av, lv), 1e-9 * std::max(1.0, a.MaxAbs()))
+        << "eigenpair " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EigenPropertyTest,
+                         ::testing::Values(2, 3, 4, 6, 10, 20, 40));
+
+}  // namespace
+}  // namespace sisd::linalg

@@ -1,0 +1,90 @@
+#include "linalg/vector.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sisd::linalg {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  v[1] = 2.5;
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+
+  Vector filled(4, 1.5);
+  EXPECT_DOUBLE_EQ(filled[3], 1.5);
+
+  Vector init{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(init[2], 3.0);
+
+  Vector fromStd(std::vector<double>{4.0, 5.0});
+  EXPECT_DOUBLE_EQ(fromStd[1], 5.0);
+  EXPECT_TRUE(Vector().empty());
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vector{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vector{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vector{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vector{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vector{0.5, 1.0}));
+}
+
+TEST(VectorTest, AddScaled) {
+  Vector a{1.0, 1.0};
+  a.AddScaled(Vector{2.0, -2.0}, 0.5);
+  EXPECT_EQ(a, (Vector{2.0, 0.0}));
+}
+
+TEST(VectorTest, DotAndNorm) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  Vector b{1.0, -1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), -1.0);
+}
+
+TEST(VectorTest, MaxAbsAndSum) {
+  Vector a{-3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(Vector().MaxAbs(), 0.0);
+}
+
+TEST(VectorTest, Normalized) {
+  Vector a{3.0, 4.0};
+  Vector unit = a.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-15);
+  EXPECT_NEAR(unit[0], 0.6, 1e-15);
+  EXPECT_NEAR(unit[1], 0.8, 1e-15);
+}
+
+TEST(VectorTest, FillAndAllFinite) {
+  Vector a(3);
+  a.Fill(2.0);
+  EXPECT_EQ(a, (Vector{2.0, 2.0, 2.0}));
+  EXPECT_TRUE(a.AllFinite());
+  a[1] = std::nan("");
+  EXPECT_FALSE(a.AllFinite());
+  a[1] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(VectorTest, MaxAbsDiff) {
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(Vector{1.0, 2.0}, Vector{1.5, 2.0}), 0.5);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(Vector{}, Vector{}), 0.0);
+}
+
+TEST(VectorTest, ToStringFormats) {
+  EXPECT_EQ((Vector{1.0, 2.5}).ToString(), "[1, 2.5]");
+  EXPECT_EQ(Vector().ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace sisd::linalg

@@ -1,0 +1,150 @@
+/// Property/fuzz tests: random sequences of location and spread updates
+/// must preserve the background model's structural invariants —
+///  (1) the group row-sets partition the row universe;
+///  (2) all parameters stay finite and covariances stay SPD;
+///  (3) the most recent constraint holds exactly after its update;
+///  (4) a full coordinate-descent refit drives every registered constraint
+///      to (near-)satisfaction;
+///  (5) KL divergence from the prior never becomes negative.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "model/assimilator.hpp"
+#include "model/background_model.hpp"
+#include "random/rng.hpp"
+
+namespace sisd::model {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using pattern::Extension;
+
+Extension RandomExtension(random::Rng* rng, size_t n) {
+  const size_t count =
+      static_cast<size_t>(rng->UniformInt(3, static_cast<int64_t>(n / 3)));
+  Extension ext(n);
+  for (size_t i : rng->SampleWithoutReplacement(n, count)) ext.Insert(i);
+  return ext;
+}
+
+void CheckPartition(const BackgroundModel& model) {
+  std::vector<size_t> membership(model.num_rows(), 0);
+  for (size_t g = 0; g < model.num_groups(); ++g) {
+    for (size_t row : model.group(g).rows.ToRows()) {
+      ++membership[row];
+      EXPECT_EQ(model.GroupOf(row), g);
+    }
+  }
+  for (size_t i = 0; i < model.num_rows(); ++i) {
+    EXPECT_EQ(membership[i], 1u) << "row " << i << " not in exactly 1 group";
+  }
+}
+
+void CheckParametersHealthy(const BackgroundModel& model) {
+  for (size_t g = 0; g < model.num_groups(); ++g) {
+    if (model.group(g).count() == 0) continue;
+    EXPECT_TRUE(model.group(g).mu.AllFinite());
+    EXPECT_TRUE(model.group(g).sigma.AllFinite());
+    EXPECT_TRUE(linalg::Cholesky::Compute(model.group(g).sigma).ok())
+        << "group " << g << " covariance lost positive definiteness";
+  }
+}
+
+class ModelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelFuzzTest, RandomUpdateSequencePreservesInvariants) {
+  random::Rng rng(GetParam());
+  const size_t n = 120;
+  const size_t d = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+
+  Result<BackgroundModel> created =
+      BackgroundModel::Create(n, rng.GaussianVector(d),
+                              Matrix::Identity(d) * rng.Uniform(0.5, 2.0));
+  created.status().CheckOK();
+  BackgroundModel model = std::move(created).MoveValue();
+  const BackgroundModel prior = model;
+
+  for (int step = 0; step < 12; ++step) {
+    const Extension ext = RandomExtension(&rng, n);
+    if (rng.Bernoulli(0.5)) {
+      const Vector target = rng.GaussianVector(d);
+      Result<double> update = model.UpdateLocation(ext, target);
+      ASSERT_TRUE(update.ok()) << update.status().ToString();
+      EXPECT_LT(MaxAbsDiff(model.ExpectedSubgroupMean(ext), target), 1e-8)
+          << "location constraint violated right after its update";
+    } else {
+      const Vector w = rng.UnitSphere(d);
+      const Vector anchor = rng.GaussianVector(d);
+      const double target_var = rng.Uniform(0.2, 3.0);
+      Result<double> update =
+          model.UpdateSpread(ext, w, anchor, target_var);
+      ASSERT_TRUE(update.ok()) << update.status().ToString();
+      EXPECT_NEAR(model.ExpectedDirectionalVariance(ext, w, anchor),
+                  target_var, 1e-6 * std::max(1.0, target_var))
+          << "spread constraint violated right after its update";
+    }
+    CheckPartition(model);
+    CheckParametersHealthy(model);
+    EXPECT_GE(model.KlDivergenceFrom(prior), -1e-9);
+  }
+}
+
+TEST_P(ModelFuzzTest, RefitSatisfiesAllConstraints) {
+  random::Rng rng(GetParam() + 5000);
+  const size_t n = 80;
+  const size_t d = 2;
+  Result<BackgroundModel> created =
+      BackgroundModel::Create(n, Vector(d), Matrix::Identity(d));
+  created.status().CheckOK();
+  PatternAssimilator assimilator(std::move(created).MoveValue());
+
+  for (int k = 0; k < 6; ++k) {
+    const Extension ext = RandomExtension(&rng, n);
+    if (rng.Bernoulli(0.6)) {
+      ASSERT_TRUE(
+          assimilator.AddLocationPattern(ext, rng.GaussianVector(d)).ok());
+    } else {
+      ASSERT_TRUE(assimilator
+                      .AddSpreadPattern(ext, rng.UnitSphere(d),
+                                        rng.GaussianVector(d),
+                                        rng.Uniform(0.3, 2.0))
+                      .ok());
+    }
+  }
+  Result<RefitStats> stats = assimilator.Refit(500, 1e-10);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Overlapping random constraints may need many sweeps; after refit all
+  // must hold to good accuracy.
+  EXPECT_LT(assimilator.MaxConstraintViolation(), 1e-5)
+      << "sweeps=" << stats.Value().sweeps
+      << " delta=" << stats.Value().final_delta;
+}
+
+TEST_P(ModelFuzzTest, RefitFromScratchIsReproducible) {
+  random::Rng rng(GetParam() + 9000);
+  const size_t n = 60;
+  Result<BackgroundModel> created =
+      BackgroundModel::Create(n, Vector{0.0}, Matrix{{1.0}});
+  created.status().CheckOK();
+  PatternAssimilator assimilator(std::move(created).MoveValue());
+  for (int k = 0; k < 4; ++k) {
+    ASSERT_TRUE(assimilator
+                    .AddLocationPattern(RandomExtension(&rng, n),
+                                        rng.GaussianVector(1))
+                    .ok());
+  }
+  ASSERT_TRUE(assimilator.RefitFromScratch(200, 1e-11).ok());
+  const BackgroundModel first = assimilator.model();
+  ASSERT_TRUE(assimilator.RefitFromScratch(200, 1e-11).ok());
+  EXPECT_LT(assimilator.model().MaxParameterDelta(first), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace sisd::model

@@ -1,0 +1,168 @@
+#include "pattern/condition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sisd::pattern {
+namespace {
+
+data::DataTable MakeTable() {
+  data::DataTable table;
+  table.AddColumn(data::Column::Numeric("x", {1.0, 2.0, 3.0, 4.0})).CheckOK();
+  table
+      .AddColumn(data::Column::CategoricalFromStrings(
+          "color", {"red", "blue", "red", "green"}))
+      .CheckOK();
+  table.AddColumn(data::Column::Binary("flag", {true, false, true, false}))
+      .CheckOK();
+  return table;
+}
+
+TEST(ConditionTest, LessEqualMatches) {
+  const data::DataTable table = MakeTable();
+  const Condition c = Condition::LessEqual(0, 2.0);
+  EXPECT_TRUE(c.Matches(table, 0));
+  EXPECT_TRUE(c.Matches(table, 1));
+  EXPECT_FALSE(c.Matches(table, 2));
+  const Extension ext = c.Evaluate(table);
+  EXPECT_EQ(ext.count(), 2u);
+}
+
+TEST(ConditionTest, GreaterEqualMatches) {
+  const data::DataTable table = MakeTable();
+  const Condition c = Condition::GreaterEqual(0, 3.0);
+  const Extension ext = c.Evaluate(table);
+  EXPECT_EQ(ext.count(), 2u);
+  EXPECT_TRUE(ext.Contains(2));
+  EXPECT_TRUE(ext.Contains(3));
+}
+
+TEST(ConditionTest, EqualsMatchesCategoricalAndBinary) {
+  const data::DataTable table = MakeTable();
+  const Condition red = Condition::Equals(1, 0);
+  EXPECT_EQ(red.Evaluate(table).count(), 2u);
+  const Condition on = Condition::Equals(2, 1);
+  EXPECT_EQ(on.Evaluate(table).count(), 2u);
+  EXPECT_TRUE(on.Matches(table, 0));
+  EXPECT_FALSE(on.Matches(table, 1));
+}
+
+TEST(ConditionTest, ToStringRendering) {
+  const data::DataTable table = MakeTable();
+  EXPECT_EQ(Condition::LessEqual(0, 2.5).ToString(table), "x <= 2.5");
+  EXPECT_EQ(Condition::GreaterEqual(0, 0.39).ToString(table), "x >= 0.39");
+  EXPECT_EQ(Condition::Equals(1, 2).ToString(table), "color = 'green'");
+  EXPECT_EQ(Condition::Equals(2, 1).ToString(table), "flag = '1'");
+}
+
+TEST(ConditionTest, SignatureDistinguishesConditions) {
+  EXPECT_NE(Condition::LessEqual(0, 1.0).Signature(),
+            Condition::GreaterEqual(0, 1.0).Signature());
+  EXPECT_NE(Condition::LessEqual(0, 1.0).Signature(),
+            Condition::LessEqual(1, 1.0).Signature());
+  EXPECT_NE(Condition::LessEqual(0, 1.0).Signature(),
+            Condition::LessEqual(0, 2.0).Signature());
+  EXPECT_EQ(Condition::Equals(1, 2).Signature(),
+            Condition::Equals(1, 2).Signature());
+}
+
+TEST(ConditionTest, EqualityOperator) {
+  EXPECT_EQ(Condition::LessEqual(0, 1.0), Condition::LessEqual(0, 1.0));
+  EXPECT_FALSE(Condition::LessEqual(0, 1.0) == Condition::LessEqual(0, 2.0));
+  EXPECT_FALSE(Condition::Equals(0, 1) == Condition::Equals(0, 2));
+}
+
+TEST(IntentionTest, EmptyMatchesAllRows) {
+  const data::DataTable table = MakeTable();
+  const Intention empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.Evaluate(table).count(), 4u);
+  EXPECT_EQ(empty.ToString(table), "<all rows>");
+}
+
+TEST(IntentionTest, ConjunctionIntersects) {
+  const data::DataTable table = MakeTable();
+  const Intention both({Condition::LessEqual(0, 3.0),
+                        Condition::Equals(1, 0)});
+  // x <= 3 matches rows 0-2; color = red matches rows 0, 2.
+  const Extension ext = both.Evaluate(table);
+  EXPECT_EQ(ext.count(), 2u);
+  EXPECT_TRUE(ext.Contains(0));
+  EXPECT_TRUE(ext.Contains(2));
+}
+
+TEST(IntentionTest, ExtendedAddsCondition) {
+  const Intention one({Condition::LessEqual(0, 3.0)});
+  const Intention two = one.Extended(Condition::Equals(2, 1));
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+}
+
+TEST(IntentionTest, ConstraintChecks) {
+  const Intention intent({Condition::LessEqual(0, 3.0),
+                          Condition::Equals(1, 0)});
+  EXPECT_TRUE(intent.ConstrainsAttribute(0));
+  EXPECT_TRUE(intent.ConstrainsAttribute(1));
+  EXPECT_FALSE(intent.ConstrainsAttribute(2));
+  EXPECT_TRUE(
+      intent.ConstrainsAttributeOp(0, ConditionOp::kLessEqual));
+  EXPECT_FALSE(
+      intent.ConstrainsAttributeOp(0, ConditionOp::kGreaterEqual));
+}
+
+TEST(IntentionTest, ToStringJoinsWithAnd) {
+  const data::DataTable table = MakeTable();
+  const Intention intent({Condition::GreaterEqual(0, 2.0),
+                          Condition::Equals(2, 0)});
+  EXPECT_EQ(intent.ToString(table), "x >= 2 AND flag = '0'");
+}
+
+TEST(ConditionTest, NotEqualsMatchesComplement) {
+  const data::DataTable table = MakeTable();
+  const Condition not_red = Condition::NotEquals(1, 0);
+  const Extension ext = not_red.Evaluate(table);
+  EXPECT_EQ(ext.count(), 2u);  // rows 1 (blue) and 3 (green)
+  EXPECT_TRUE(ext.Contains(1));
+  EXPECT_TRUE(ext.Contains(3));
+  EXPECT_EQ(not_red.ToString(table), "color != 'red'");
+  EXPECT_NE(not_red.Signature(), Condition::Equals(1, 0).Signature());
+}
+
+TEST(IntentionTest, RefinementRulesForExclusions) {
+  // Two distinct exclusions on one attribute = set exclusion: allowed.
+  const Intention one_exclusion({Condition::NotEquals(1, 0)});
+  EXPECT_TRUE(one_exclusion.AllowsRefinementWith(Condition::NotEquals(1, 1)));
+  // Duplicate exclusion: rejected.
+  EXPECT_FALSE(one_exclusion.AllowsRefinementWith(Condition::NotEquals(1, 0)));
+  // Equality on an attribute that already has an exclusion: rejected.
+  EXPECT_FALSE(one_exclusion.AllowsRefinementWith(Condition::Equals(1, 2)));
+  // Exclusion on an attribute pinned by an equality: rejected.
+  const Intention pinned({Condition::Equals(1, 2)});
+  EXPECT_FALSE(pinned.AllowsRefinementWith(Condition::NotEquals(1, 0)));
+  // Interval ops: one <= and one >= per attribute.
+  const Intention interval({Condition::LessEqual(0, 3.0)});
+  EXPECT_FALSE(interval.AllowsRefinementWith(Condition::LessEqual(0, 2.0)));
+  EXPECT_TRUE(interval.AllowsRefinementWith(Condition::GreaterEqual(0, 1.0)));
+}
+
+TEST(IntentionTest, SetExclusionConjunctionEvaluates) {
+  const data::DataTable table = MakeTable();
+  // color != red AND color != blue  ==  color == green.
+  const Intention excl({Condition::NotEquals(1, 0),
+                        Condition::NotEquals(1, 1)});
+  const Extension ext = excl.Evaluate(table);
+  EXPECT_EQ(ext.count(), 1u);
+  EXPECT_TRUE(ext.Contains(3));
+}
+
+TEST(IntentionTest, CanonicalSignatureIsOrderIndependent) {
+  const Condition a = Condition::LessEqual(0, 3.0);
+  const Condition b = Condition::Equals(1, 0);
+  EXPECT_EQ(Intention({a, b}).CanonicalSignature(),
+            Intention({b, a}).CanonicalSignature());
+  EXPECT_NE(Intention({a}).CanonicalSignature(),
+            Intention({a, b}).CanonicalSignature());
+}
+
+}  // namespace
+}  // namespace sisd::pattern

@@ -1,0 +1,111 @@
+#include "pattern/extension.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sisd::pattern {
+namespace {
+
+TEST(ExtensionTest, EmptyAndFullConstruction) {
+  Extension empty(100);
+  EXPECT_EQ(empty.universe_size(), 100u);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_TRUE(empty.empty());
+
+  Extension full(100, /*full=*/true);
+  EXPECT_EQ(full.count(), 100u);
+  EXPECT_TRUE(full.Contains(0));
+  EXPECT_TRUE(full.Contains(99));
+}
+
+TEST(ExtensionTest, FullMasksTailBitsCorrectly) {
+  // Non-multiple-of-64 universes must not count ghost bits.
+  for (size_t n : {1u, 63u, 64u, 65u, 127u, 130u}) {
+    Extension full(n, /*full=*/true);
+    EXPECT_EQ(full.count(), n) << "n=" << n;
+    EXPECT_EQ(full.ToRows().size(), n);
+  }
+}
+
+TEST(ExtensionTest, InsertEraseContains) {
+  Extension ext(70);
+  ext.Insert(3);
+  ext.Insert(64);
+  ext.Insert(3);  // duplicate: no double count
+  EXPECT_EQ(ext.count(), 2u);
+  EXPECT_TRUE(ext.Contains(3));
+  EXPECT_TRUE(ext.Contains(64));
+  EXPECT_FALSE(ext.Contains(4));
+  ext.Erase(3);
+  EXPECT_EQ(ext.count(), 1u);
+  EXPECT_FALSE(ext.Contains(3));
+  ext.Erase(3);  // erase absent: no-op
+  EXPECT_EQ(ext.count(), 1u);
+}
+
+TEST(ExtensionTest, FromRows) {
+  Extension ext = Extension::FromRows(10, {1, 3, 5});
+  EXPECT_EQ(ext.count(), 3u);
+  EXPECT_TRUE(ext.Contains(3));
+  const std::vector<size_t> rows = ext.ToRows();
+  EXPECT_EQ(rows, (std::vector<size_t>{1, 3, 5}));
+}
+
+TEST(ExtensionTest, IntersectAndUnion) {
+  Extension a = Extension::FromRows(100, {1, 2, 3, 70});
+  Extension b = Extension::FromRows(100, {2, 3, 4, 71});
+  Extension both = Extension::Intersect(a, b);
+  EXPECT_EQ(both.count(), 2u);
+  EXPECT_TRUE(both.Contains(2));
+  EXPECT_TRUE(both.Contains(3));
+  EXPECT_EQ(Extension::IntersectionCount(a, b), 2u);
+
+  Extension either = a;
+  either.UnionWith(b);
+  EXPECT_EQ(either.count(), 6u);
+}
+
+TEST(ExtensionTest, DisjointDetection) {
+  Extension a = Extension::FromRows(10, {0, 1});
+  Extension b = Extension::FromRows(10, {2, 3});
+  Extension c = Extension::FromRows(10, {1, 2});
+  EXPECT_TRUE(Extension::Disjoint(a, b));
+  EXPECT_FALSE(Extension::Disjoint(a, c));
+}
+
+TEST(ExtensionTest, ComplementRespectsUniverse) {
+  Extension ext = Extension::FromRows(70, {0, 69});
+  ext.Complement();
+  EXPECT_EQ(ext.count(), 68u);
+  EXPECT_FALSE(ext.Contains(0));
+  EXPECT_FALSE(ext.Contains(69));
+  EXPECT_TRUE(ext.Contains(35));
+}
+
+TEST(ExtensionTest, ToRowsOrdering) {
+  Extension ext = Extension::FromRows(200, {150, 3, 64, 127});
+  EXPECT_EQ(ext.ToRows(), (std::vector<size_t>{3, 64, 127, 150}));
+}
+
+TEST(ExtensionTest, EqualityAndCopy) {
+  Extension a = Extension::FromRows(50, {1, 2});
+  Extension b = a;
+  EXPECT_EQ(a, b);
+  b.Insert(3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ExtensionTest, IntersectWithSelfIsIdentity) {
+  Extension a = Extension::FromRows(100, {5, 10, 99});
+  Extension b = a;
+  a.IntersectWith(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExtensionTest, ZeroUniverse) {
+  Extension ext(0);
+  EXPECT_EQ(ext.count(), 0u);
+  EXPECT_TRUE(ext.ToRows().empty());
+}
+
+}  // namespace
+}  // namespace sisd::pattern

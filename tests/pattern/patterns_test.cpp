@@ -1,0 +1,93 @@
+#include "pattern/patterns.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sisd::pattern {
+namespace {
+
+data::DataTable MakeTable() {
+  data::DataTable table;
+  table.AddColumn(data::Column::Binary("b", {true, true, false, false}))
+      .CheckOK();
+  return table;
+}
+
+linalg::Matrix MakeTargets() {
+  // Rows 0, 1 form one cluster; rows 2, 3 another.
+  return linalg::Matrix{{1.0, 0.0}, {3.0, 0.0}, {-1.0, 4.0}, {-3.0, 8.0}};
+}
+
+TEST(SubgroupTest, FromIntentionComputesExtension) {
+  const data::DataTable table = MakeTable();
+  const Subgroup sg = Subgroup::FromIntention(
+      table, Intention({Condition::Equals(0, 1)}));
+  EXPECT_EQ(sg.Coverage(), 2u);
+  EXPECT_TRUE(sg.extension.Contains(0));
+  EXPECT_TRUE(sg.extension.Contains(1));
+}
+
+TEST(SubgroupMeanTest, ComputesEquationOne) {
+  const linalg::Matrix y = MakeTargets();
+  const Extension ext = Extension::FromRows(4, {0, 1});
+  const linalg::Vector mean = SubgroupMean(y, ext);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 0.0);
+
+  const Extension all = Extension::FromRows(4, {0, 1, 2, 3});
+  const linalg::Vector global = SubgroupMean(y, all);
+  EXPECT_DOUBLE_EQ(global[0], 0.0);
+  EXPECT_DOUBLE_EQ(global[1], 3.0);
+}
+
+TEST(SubgroupVarianceTest, ComputesEquationTwo) {
+  const linalg::Matrix y = MakeTargets();
+  const Extension ext = Extension::FromRows(4, {0, 1});
+  // Along e1: values 1, 3; mean 2; variance ((1)^2 + (1)^2)/2 = 1.
+  EXPECT_DOUBLE_EQ(SubgroupVarianceAlong(y, ext, linalg::Vector{1.0, 0.0}),
+                   1.0);
+  // Along e2: both zero -> variance 0.
+  EXPECT_DOUBLE_EQ(SubgroupVarianceAlong(y, ext, linalg::Vector{0.0, 1.0}),
+                   0.0);
+}
+
+TEST(SubgroupVarianceTest, RotatedDirection) {
+  const linalg::Matrix y = MakeTargets();
+  const Extension ext = Extension::FromRows(4, {2, 3});
+  // Rows (-1, 4), (-3, 8): along w = (1, 0): mean -2, var 1.
+  EXPECT_DOUBLE_EQ(SubgroupVarianceAlong(y, ext, linalg::Vector{1.0, 0.0}),
+                   1.0);
+  // Along the direction (1, 2)/sqrt5 the two points project to
+  // (-1+8)/sqrt5 and (-3+16)/sqrt5: mean 10/sqrt5, deviations ±3/sqrt5,
+  // variance 9/5.
+  const linalg::Vector w = linalg::Vector{1.0, 2.0}.Normalized();
+  EXPECT_NEAR(SubgroupVarianceAlong(y, ext, w), 9.0 / 5.0, 1e-12);
+}
+
+TEST(LocationPatternTest, ComputeAndDescribe) {
+  const data::DataTable table = MakeTable();
+  const linalg::Matrix y = MakeTargets();
+  Subgroup sg = Subgroup::FromIntention(
+      table, Intention({Condition::Equals(0, 1)}));
+  const LocationPattern pattern = LocationPattern::Compute(std::move(sg), y);
+  EXPECT_DOUBLE_EQ(pattern.mean[0], 2.0);
+  const std::string text = pattern.ToString(table);
+  EXPECT_NE(text.find("b = '1'"), std::string::npos);
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+}
+
+TEST(SpreadPatternTest, NormalizesDirection) {
+  const data::DataTable table = MakeTable();
+  const linalg::Matrix y = MakeTargets();
+  Subgroup sg = Subgroup::FromIntention(
+      table, Intention({Condition::Equals(0, 1)}));
+  const SpreadPattern pattern =
+      SpreadPattern::Compute(std::move(sg), y, linalg::Vector{2.0, 0.0});
+  EXPECT_NEAR(pattern.direction.Norm(), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(pattern.variance, 1.0);
+  EXPECT_NE(pattern.ToString(table).find("spread{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sisd::pattern

@@ -1,0 +1,163 @@
+#include "random/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+
+namespace sisd::random {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(5);
+  stats::RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.Add(rng.Gaussian());
+  EXPECT_NEAR(rs.Mean(), 0.0, 0.02);
+  EXPECT_NEAR(rs.VariancePopulation(), 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianLocationScale) {
+  Rng rng(6);
+  stats::RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.Add(rng.Gaussian(3.0, 2.0));
+  EXPECT_NEAR(rs.Mean(), 3.0, 0.05);
+  EXPECT_NEAR(rs.StdDevPopulation(), 2.0, 0.05);
+  EXPECT_DOUBLE_EQ(rng.Gaussian(7.0, 0.0), 7.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(7);
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) ones += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(ones) / 20000.0, 0.3, 0.015);
+  EXPECT_FALSE(Rng(1).Bernoulli(0.0));
+}
+
+TEST(RngTest, ChiSquareMeanMatchesDof) {
+  Rng rng(8);
+  stats::RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.Add(rng.ChiSquare(5));
+  EXPECT_NEAR(rs.Mean(), 5.0, 0.15);
+  EXPECT_NEAR(rs.VariancePopulation(), 10.0, 0.6);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(9);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(double(counts[0]) / 30000.0, 0.25, 0.02);
+  EXPECT_NEAR(double(counts[1]) / 30000.0, 0.50, 0.02);
+  EXPECT_NEAR(double(counts[2]) / 30000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverDrawn) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(rng.Categorical({1.0, 0.0, 1.0}), 1u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 5).size(), 5u);
+}
+
+TEST(RngTest, UnitSphereHasUnitNorm) {
+  Rng rng(13);
+  for (size_t d : {1u, 2u, 5u, 20u}) {
+    const linalg::Vector w = rng.UnitSphere(d);
+    EXPECT_EQ(w.size(), d);
+    EXPECT_NEAR(w.Norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(MvnSamplerTest, MatchesMeanAndCovariance) {
+  linalg::Vector mu{1.0, -2.0};
+  linalg::Matrix sigma{{2.0, 0.8}, {0.8, 1.0}};
+  MultivariateNormalSampler sampler(mu, sigma);
+  EXPECT_EQ(sampler.dim(), 2u);
+
+  Rng rng(14);
+  const size_t kSamples = 40000;
+  const linalg::Matrix draws = sampler.SampleRows(&rng, kSamples);
+  const linalg::Vector mean = stats::ColumnMeans(draws);
+  const linalg::Matrix cov = stats::CovarianceMatrix(draws);
+  EXPECT_NEAR(mean[0], 1.0, 0.03);
+  EXPECT_NEAR(mean[1], -2.0, 0.03);
+  EXPECT_NEAR(cov(0, 0), 2.0, 0.06);
+  EXPECT_NEAR(cov(0, 1), 0.8, 0.04);
+  EXPECT_NEAR(cov(1, 1), 1.0, 0.04);
+}
+
+TEST(MvnSamplerTest, DegenerateDimensionOne) {
+  MultivariateNormalSampler sampler(linalg::Vector{5.0},
+                                    linalg::Matrix{{4.0}});
+  Rng rng(15);
+  stats::RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.Add(sampler.Sample(&rng)[0]);
+  EXPECT_NEAR(rs.Mean(), 5.0, 0.05);
+  EXPECT_NEAR(rs.VariancePopulation(), 4.0, 0.12);
+}
+
+}  // namespace
+}  // namespace sisd::random

@@ -1,0 +1,252 @@
+#include "search/beam_search.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+
+namespace sisd::search {
+namespace {
+
+/// Table with one binary attribute marking a planted subgroup plus noise
+/// attributes.
+data::DataTable MakePlantedTable(size_t n, const std::vector<size_t>& planted,
+                                 uint64_t seed) {
+  random::Rng rng(seed);
+  std::vector<bool> label(n, false);
+  for (size_t i : planted) label[i] = true;
+  data::DataTable table;
+  table.AddColumn(data::Column::Binary("label", label)).CheckOK();
+  for (int j = 0; j < 3; ++j) {
+    std::vector<bool> noise(n);
+    for (size_t i = 0; i < n; ++i) noise[i] = rng.Bernoulli(0.5);
+    table
+        .AddColumn(data::Column::Binary("noise" + std::to_string(j), noise))
+        .CheckOK();
+  }
+  return table;
+}
+
+TEST(BeamSearchTest, FindsPlantedSubgroupWithOracleQuality) {
+  const std::vector<size_t> planted{3, 7, 11, 15, 19};
+  const data::DataTable table = MakePlantedTable(50, planted, 1);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  const pattern::Extension target =
+      pattern::Extension::FromRows(50, planted);
+
+  SearchConfig config;
+  // Quality: overlap with the planted extension minus size penalty.
+  QualityFunction quality = [&target](const pattern::Intention&,
+                                      const pattern::Extension& ext) {
+    const double overlap =
+        double(pattern::Extension::IntersectionCount(target, ext));
+    return 2.0 * overlap - double(ext.count());
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.best().extension, target);
+  EXPECT_EQ(result.best().intention.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.best().quality, 5.0);
+}
+
+TEST(BeamSearchTest, RespectsMinCoverage) {
+  const data::DataTable table = MakePlantedTable(50, {1, 2, 3}, 2);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.min_coverage = 10;
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension& ext) {
+    return -double(ext.count());  // prefer tiny subgroups
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  for (const ScoredSubgroup& sg : result.top) {
+    EXPECT_GE(sg.extension.count(), 10u);
+  }
+}
+
+TEST(BeamSearchTest, RespectsMaxCoverageFraction) {
+  const data::DataTable table = MakePlantedTable(50, {1, 2, 3}, 3);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.max_coverage_fraction = 0.5;
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension& ext) {
+    return double(ext.count());  // prefer big subgroups
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  for (const ScoredSubgroup& sg : result.top) {
+    EXPECT_LE(sg.extension.count(), 25u);
+  }
+}
+
+TEST(BeamSearchTest, RespectsMaxDepth) {
+  const data::DataTable table = MakePlantedTable(60, {1, 2, 3, 4}, 4);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.max_depth = 2;
+  QualityFunction quality = [](const pattern::Intention& intent,
+                               const pattern::Extension& ext) {
+    if (ext.empty()) return -std::numeric_limits<double>::infinity();
+    return double(intent.size());  // reward longer intentions
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  for (const ScoredSubgroup& sg : result.top) {
+    EXPECT_LE(sg.intention.size(), 2u);
+  }
+  EXPECT_EQ(result.best().intention.size(), 2u);
+}
+
+TEST(BeamSearchTest, DeduplicatesPermutedIntentions) {
+  const data::DataTable table = MakePlantedTable(60, {1, 2, 3, 4}, 5);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.max_depth = 2;
+  config.top_k = 1000;
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension& ext) {
+    return double(ext.count());
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  std::set<std::string> signatures;
+  for (const ScoredSubgroup& sg : result.top) {
+    EXPECT_TRUE(
+        signatures.insert(sg.intention.CanonicalSignature()).second)
+        << "duplicate intention in result list";
+  }
+}
+
+TEST(BeamSearchTest, NeverPairsSameAttributeSameOp) {
+  const data::DataTable table = MakePlantedTable(60, {1, 2, 3, 4}, 6);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.top_k = 500;
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension& ext) {
+    return double(ext.count());
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  for (const ScoredSubgroup& sg : result.top) {
+    for (size_t a = 0; a < sg.intention.size(); ++a) {
+      for (size_t b = a + 1; b < sg.intention.size(); ++b) {
+        const auto& ca = sg.intention.conditions()[a];
+        const auto& cb = sg.intention.conditions()[b];
+        EXPECT_FALSE(ca.attribute == cb.attribute && ca.op == cb.op);
+      }
+    }
+  }
+}
+
+TEST(BeamSearchTest, RejectedCandidatesNeverAppear) {
+  const data::DataTable table = MakePlantedTable(40, {0, 1}, 7);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  QualityFunction quality = [](const pattern::Intention& intent,
+                               const pattern::Extension&) {
+    // Reject everything mentioning attribute 0.
+    if (intent.ConstrainsAttribute(0)) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    return 1.0;
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  for (const ScoredSubgroup& sg : result.top) {
+    EXPECT_FALSE(sg.intention.ConstrainsAttribute(0));
+  }
+}
+
+TEST(BeamSearchTest, TimeBudgetStopsSearch) {
+  // Large-ish search with a zero budget: must stop immediately but cleanly.
+  const data::DataTable table = MakePlantedTable(200, {1, 2, 3}, 8);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.time_budget_seconds = 0.0;
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension& ext) {
+    return double(ext.count());
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  EXPECT_TRUE(result.hit_time_budget);
+}
+
+TEST(BeamSearchTest, ZeroMinCoverageNeverYieldsEmptyExtensions) {
+  const data::DataTable table = MakePlantedTable(30, {0, 1, 2}, 21);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.min_coverage = 0;  // clamped to 1 internally
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension& ext) {
+    // Would die on an empty extension; the search must never pass one.
+    SISD_CHECK(!ext.empty());
+    return 1.0;
+  };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  for (const ScoredSubgroup& sg : result.top) {
+    EXPECT_GE(sg.extension.count(), 1u);
+  }
+}
+
+TEST(BeamSearchTest, CountsEvaluations) {
+  const data::DataTable table = MakePlantedTable(30, {0, 1, 2}, 9);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig config;
+  config.max_depth = 1;
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension&) { return 1.0; };
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  EXPECT_EQ(result.num_evaluated, pool.size());
+}
+
+TEST(BeamSearchTest, RecoversSetExclusionPattern) {
+  // A 4-level categorical attribute where the interesting subgroup is
+  // "everything except level 'd'": only expressible as an exclusion (or a
+  // deeper disjunction the language does not have).
+  const size_t n = 80;
+  std::vector<std::string> levels(n);
+  for (size_t i = 0; i < n; ++i) {
+    levels[i] = (i % 4 == 3) ? "d" : std::string(1, char('a' + i % 4));
+  }
+  data::DataTable table;
+  table.AddColumn(data::Column::CategoricalFromStrings("cat", levels))
+      .CheckOK();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+
+  // Quality: reward covering exactly the non-'d' rows.
+  pattern::Extension target(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (levels[i] != "d") target.Insert(i);
+  }
+  QualityFunction quality = [&target](const pattern::Intention&,
+                                      const pattern::Extension& ext) {
+    const double overlap =
+        double(pattern::Extension::IntersectionCount(target, ext));
+    return 2.0 * overlap - double(ext.count());
+  };
+  SearchConfig config;
+  const SearchResult result = BeamSearch(table, pool, config, quality);
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.best().extension, target);
+  ASSERT_EQ(result.best().intention.size(), 1u);
+  EXPECT_EQ(result.best().intention.conditions()[0].op,
+            pattern::ConditionOp::kNotEquals);
+}
+
+TEST(BeamSearchTest, BeamWidthLimitsExploration) {
+  const data::DataTable table = MakePlantedTable(100, {1, 2, 3, 4, 5}, 10);
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  SearchConfig narrow;
+  narrow.beam_width = 1;
+  SearchConfig wide;
+  wide.beam_width = 40;
+  QualityFunction quality = [](const pattern::Intention&,
+                               const pattern::Extension& ext) {
+    return double(ext.count() % 17);  // bumpy landscape
+  };
+  const SearchResult narrow_result = BeamSearch(table, pool, narrow, quality);
+  const SearchResult wide_result = BeamSearch(table, pool, wide, quality);
+  EXPECT_LE(narrow_result.num_evaluated, wide_result.num_evaluated);
+  EXPECT_GE(wide_result.best().quality, narrow_result.best().quality);
+}
+
+}  // namespace
+}  // namespace sisd::search

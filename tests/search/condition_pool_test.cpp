@@ -1,0 +1,98 @@
+#include "search/condition_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sisd::search {
+namespace {
+
+data::DataTable MakeTable() {
+  std::vector<double> numeric;
+  for (int i = 1; i <= 100; ++i) numeric.push_back(double(i));
+  std::vector<bool> flags;
+  for (int i = 0; i < 100; ++i) flags.push_back(i % 2 == 0);
+  std::vector<std::string> cats;
+  for (int i = 0; i < 100; ++i) {
+    cats.push_back(i % 3 == 0 ? "a" : (i % 3 == 1 ? "b" : "c"));
+  }
+  data::DataTable table;
+  table.AddColumn(data::Column::Numeric("x", numeric)).CheckOK();
+  table.AddColumn(data::Column::Binary("flag", flags)).CheckOK();
+  table.AddColumn(data::Column::CategoricalFromStrings("cat", cats))
+      .CheckOK();
+  return table;
+}
+
+TEST(ConditionPoolTest, BuildsExpectedConditionCount) {
+  const data::DataTable table = MakeTable();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  // Numeric: 4 splits x 2 ops = 8; binary: 2 equality levels; categorical
+  // with 3 levels: 3 equalities + 3 exclusions.
+  EXPECT_EQ(pool.size(), 16u);
+}
+
+TEST(ConditionPoolTest, ExclusionsOnlyForThreePlusLevels) {
+  const data::DataTable table = MakeTable();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  size_t binary_exclusions = 0;
+  size_t categorical_exclusions = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (pool.condition(i).op != pattern::ConditionOp::kNotEquals) continue;
+    if (pool.condition(i).attribute == 1) ++binary_exclusions;
+    if (pool.condition(i).attribute == 2) ++categorical_exclusions;
+  }
+  EXPECT_EQ(binary_exclusions, 0u);       // != is redundant for binary
+  EXPECT_EQ(categorical_exclusions, 3u);  // one per level
+}
+
+TEST(ConditionPoolTest, ExtensionsPrecomputedCorrectly) {
+  const data::DataTable table = MakeTable();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool.extension(i), pool.condition(i).Evaluate(table))
+        << "condition " << i;
+    EXPECT_GT(pool.extension(i).count(), 0u);
+    EXPECT_LT(pool.extension(i).count(), table.num_rows());
+  }
+}
+
+TEST(ConditionPoolTest, NumericSplitsAreQuintiles) {
+  const data::DataTable table = MakeTable();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  // First numeric condition: x <= ~20.8 covering ~20% of rows.
+  const pattern::Condition& c = pool.condition(0);
+  EXPECT_EQ(c.op, pattern::ConditionOp::kLessEqual);
+  EXPECT_NEAR(c.threshold, 20.8, 1e-9);
+  EXPECT_EQ(pool.extension(0).count(), 20u);
+}
+
+TEST(ConditionPoolTest, ConstantColumnsContributeNothing) {
+  data::DataTable table;
+  table.AddColumn(data::Column::Numeric("const", {5.0, 5.0, 5.0})).CheckOK();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  // All conditions on a constant column match every row -> excluded.
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ConditionPoolTest, OrdinalColumnsGetIntervalConditions) {
+  data::DataTable table;
+  std::vector<double> levels;
+  for (int i = 0; i < 40; ++i) {
+    levels.push_back(i % 4 == 0 ? 0.0 : (i % 4 == 1 ? 1.0 : (i % 4 == 2 ? 3.0 : 5.0)));
+  }
+  table.AddColumn(data::Column::Ordinal("density", levels)).CheckOK();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  EXPECT_GT(pool.size(), 0u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_NE(pool.condition(i).op, pattern::ConditionOp::kEquals);
+  }
+}
+
+TEST(ConditionPoolTest, FewerSplitsFewerConditions) {
+  const data::DataTable table = MakeTable();
+  const ConditionPool small = ConditionPool::Build(table, 1);
+  const ConditionPool large = ConditionPool::Build(table, 8);
+  EXPECT_LT(small.size(), large.size());
+}
+
+}  // namespace
+}  // namespace sisd::search

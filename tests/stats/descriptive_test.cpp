@@ -1,0 +1,143 @@
+#include "stats/descriptive.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+
+namespace sisd::stats {
+namespace {
+
+TEST(RunningStatsTest, MatchesClosedForms) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.VariancePopulation(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.StdDevPopulation(), 2.0);
+  EXPECT_NEAR(rs.VarianceSample(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.VariancePopulation(), 0.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.VariancePopulation(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.VarianceSample(), 0.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  const double offset = 1e9;
+  for (double v : {1.0, 2.0, 3.0}) rs.Add(offset + v);
+  EXPECT_NEAR(rs.Mean(), offset + 2.0, 1e-5);
+  EXPECT_NEAR(rs.VariancePopulation(), 2.0 / 3.0, 1e-5);
+}
+
+TEST(MeanVarianceTest, FreeFunctions) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(VariancePopulation({1.0, 2.0, 3.0}), 2.0 / 3.0, 1e-14);
+}
+
+TEST(ColumnMeansTest, FullAndSubset) {
+  linalg::Matrix y{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  const linalg::Vector full = ColumnMeans(y);
+  EXPECT_DOUBLE_EQ(full[0], 2.0);
+  EXPECT_DOUBLE_EQ(full[1], 20.0);
+  const linalg::Vector sub = ColumnMeans(y, {0, 2});
+  EXPECT_DOUBLE_EQ(sub[0], 2.0);
+  EXPECT_DOUBLE_EQ(sub[1], 20.0);
+  const linalg::Vector one = ColumnMeans(y, {1});
+  EXPECT_DOUBLE_EQ(one[0], 2.0);
+  EXPECT_DOUBLE_EQ(one[1], 20.0);
+}
+
+TEST(CovarianceMatrixTest, KnownCovariance) {
+  // Perfectly anti-correlated columns.
+  linalg::Matrix y{{1.0, -1.0}, {-1.0, 1.0}};
+  const linalg::Matrix cov = CovarianceMatrix(y);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), -1.0);
+}
+
+TEST(CovarianceMatrixTest, SubsetRows) {
+  linalg::Matrix y{{0.0, 0.0}, {2.0, 2.0}, {100.0, -100.0}};
+  const linalg::Matrix cov = CovarianceMatrix(y, {0, 1});
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 1.0);
+}
+
+TEST(ScatterAroundTest, FixedCenterDiffersFromCovariance) {
+  linalg::Matrix y{{1.0}, {3.0}};
+  // Around the mean (2): variance 1. Around 0: E[y^2] = 5.
+  const linalg::Matrix around_mean =
+      ScatterAround(y, {0, 1}, linalg::Vector{2.0});
+  EXPECT_DOUBLE_EQ(around_mean(0, 0), 1.0);
+  const linalg::Matrix around_zero =
+      ScatterAround(y, {0, 1}, linalg::Vector{0.0});
+  EXPECT_DOUBLE_EQ(around_zero(0, 0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesType7) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileSplitPointsTest, FourSplitsAreQuintiles) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(double(i));
+  const std::vector<double> splits = QuantileSplitPoints(values, 4);
+  ASSERT_EQ(splits.size(), 4u);
+  EXPECT_NEAR(splits[0], 20.8, 1e-12);  // 20th percentile, type 7
+  EXPECT_NEAR(splits[1], 40.6, 1e-12);
+  EXPECT_NEAR(splits[2], 60.4, 1e-12);
+  EXPECT_NEAR(splits[3], 80.2, 1e-12);
+}
+
+TEST(QuantileSplitPointsTest, DeduplicatesTies) {
+  std::vector<double> values(100, 5.0);
+  const std::vector<double> splits = QuantileSplitPoints(values, 4);
+  EXPECT_EQ(splits.size(), 1u);
+  EXPECT_DOUBLE_EQ(splits[0], 5.0);
+}
+
+TEST(QuantileSplitPointsTest, EmptyInput) {
+  EXPECT_TRUE(QuantileSplitPoints({}, 4).empty());
+}
+
+TEST(PearsonCorrelationTest, PerfectAndZero) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(PearsonCorrelationTest, RandomDataInRange) {
+  random::Rng rng(99);
+  std::vector<double> a(200), b(200);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = 0.5 * a[i] + rng.Gaussian();
+  }
+  const double r = PearsonCorrelation(a, b);
+  EXPECT_GT(r, 0.2);
+  EXPECT_LT(r, 0.7);
+}
+
+}  // namespace
+}  // namespace sisd::stats

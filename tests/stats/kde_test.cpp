@@ -1,0 +1,80 @@
+#include "stats/kde.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "stats/special.hpp"
+
+namespace sisd::stats {
+namespace {
+
+TEST(KdeTest, SinglePointIsAKernel) {
+  KernelDensity kde({0.0}, 1.0);
+  EXPECT_NEAR(kde.Density(0.0), NormalPdf(0.0), 1e-14);
+  EXPECT_NEAR(kde.Density(1.0), NormalPdf(1.0), 1e-14);
+}
+
+TEST(KdeTest, DensityIntegratesToOne) {
+  random::Rng rng(4);
+  std::vector<double> sample(100);
+  for (double& v : sample) v = rng.Gaussian();
+  KernelDensity kde(sample, 0.4);
+  const double lo = -8.0, hi = 8.0;
+  const int steps = 4000;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    integral += kde.Density(lo + (i + 0.5) * (hi - lo) / steps) *
+                (hi - lo) / steps;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(KdeTest, PeaksNearDataMass) {
+  // Two tight clusters at -3 and +3: density higher there than at 0.
+  std::vector<double> sample;
+  for (int i = 0; i < 50; ++i) {
+    sample.push_back(-3.0 + 0.01 * i / 50.0);
+    sample.push_back(3.0 + 0.01 * i / 50.0);
+  }
+  KernelDensity kde(sample, 0.3);
+  EXPECT_GT(kde.Density(-3.0), kde.Density(0.0) * 5.0);
+  EXPECT_GT(kde.Density(3.0), kde.Density(0.0) * 5.0);
+}
+
+TEST(KdeTest, SilvermanBandwidthIsReasonable) {
+  random::Rng rng(12);
+  std::vector<double> sample(400);
+  for (double& v : sample) v = rng.Gaussian();
+  KernelDensity kde = KernelDensity::WithSilvermanBandwidth(sample);
+  // For n = 400 standard normal samples: h ~ 0.9 * n^{-1/5} ~ 0.27.
+  EXPECT_GT(kde.bandwidth(), 0.1);
+  EXPECT_LT(kde.bandwidth(), 0.5);
+  // Density at the mode approximates the true pdf.
+  EXPECT_NEAR(kde.Density(0.0), NormalPdf(0.0), 0.08);
+}
+
+TEST(KdeTest, SilvermanHandlesDegenerateSample) {
+  KernelDensity kde =
+      KernelDensity::WithSilvermanBandwidth({2.0, 2.0, 2.0, 2.0});
+  EXPECT_GT(kde.bandwidth(), 0.0);
+  EXPECT_TRUE(std::isfinite(kde.Density(2.0)));
+}
+
+TEST(KdeTest, DensityOnGridMatchesPointEvaluations) {
+  KernelDensity kde({0.0, 1.0}, 0.5);
+  const std::vector<double> grid = kde.DensityOnGrid(-1.0, 2.0, 4);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_NEAR(grid[0], kde.Density(-1.0), 1e-15);
+  EXPECT_NEAR(grid[1], kde.Density(0.0), 1e-15);
+  EXPECT_NEAR(grid[3], kde.Density(2.0), 1e-15);
+}
+
+TEST(KdeTest, SampleSizeAccessor) {
+  KernelDensity kde({1.0, 2.0, 3.0}, 0.1);
+  EXPECT_EQ(kde.sample_size(), 3u);
+}
+
+}  // namespace
+}  // namespace sisd::stats

@@ -1,0 +1,174 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sisd::stats {
+namespace {
+
+TEST(NormalPdfTest, StandardValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-16);
+}
+
+TEST(NormalPdfTest, LocationScale) {
+  EXPECT_NEAR(NormalPdf(3.0, 3.0, 2.0), 0.3989422804014327 / 2.0, 1e-15);
+  EXPECT_NEAR(NormalPdf(5.0, 3.0, 2.0), 0.24197072451914337 / 2.0, 1e-15);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-10);
+  EXPECT_NEAR(NormalCdf(1.0, 1.0, 5.0), 0.5, 1e-15);
+}
+
+TEST(NormalQuantileTest, RoundTripsThroughCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963984540054, 1e-8);
+}
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Gamma(n) = (n-1)!.
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-14);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-14);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-10);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(1.5), 0.5 * std::log(M_PI) - std::log(2.0), 1e-12);
+}
+
+TEST(LogGammaTest, AgreesWithStdLgamma) {
+  for (double x : {0.1, 0.7, 1.3, 2.5, 7.9, 42.0, 123.4}) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x), 1e-10 * std::fabs(std::lgamma(x)) + 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(DigammaTest, KnownValues) {
+  // psi(1) = -EulerGamma.
+  EXPECT_NEAR(Digamma(1.0), -0.5772156649015329, 1e-12);
+  // psi(2) = 1 - EulerGamma.
+  EXPECT_NEAR(Digamma(2.0), 1.0 - 0.5772156649015329, 1e-12);
+  // psi(0.5) = -2 ln 2 - EulerGamma.
+  EXPECT_NEAR(Digamma(0.5), -2.0 * std::log(2.0) - 0.5772156649015329,
+              1e-12);
+}
+
+TEST(DigammaTest, MatchesLogGammaDerivative) {
+  const double h = 1e-6;
+  for (double x : {0.3, 1.0, 2.7, 10.0, 55.5}) {
+    const double numeric = (LogGamma(x + h) - LogGamma(x - h)) / (2.0 * h);
+    EXPECT_NEAR(Digamma(x), numeric, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(RegularizedGammaPTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e9), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaPTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquareCdfTest, KnownQuantiles) {
+  // Standard table values.
+  EXPECT_NEAR(ChiSquareCdf(3.841458820694124, 1.0), 0.95, 1e-9);
+  EXPECT_NEAR(ChiSquareCdf(5.991464547107979, 2.0), 0.95, 1e-9);
+  EXPECT_NEAR(ChiSquareCdf(18.307038053275146, 10.0), 0.95, 1e-9);
+  // chi2(2) is Exponential(1/2): CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquareCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(ChiSquarePdfTest, IntegratesToCdf) {
+  // Numeric integral of the pdf matches the cdf.
+  const double k = 3.0;
+  const double upper = 4.2;
+  const int steps = 20000;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double x = (i + 0.5) * upper / steps;
+    integral += ChiSquarePdf(x, k) * upper / steps;
+  }
+  EXPECT_NEAR(integral, ChiSquareCdf(upper, k), 1e-6);
+}
+
+TEST(ChiSquarePdfTest, EdgeCasesAtZero) {
+  EXPECT_DOUBLE_EQ(ChiSquarePdf(-1.0, 3.0), 0.0);
+  EXPECT_TRUE(std::isinf(ChiSquarePdf(0.0, 1.0)));
+  EXPECT_DOUBLE_EQ(ChiSquarePdf(0.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ChiSquarePdf(0.0, 3.0), 0.0);
+}
+
+TEST(ChiSquareLogPdfTest, ConsistentWithPdf) {
+  for (double x : {0.5, 1.0, 3.3, 10.0}) {
+    for (double k : {1.0, 2.0, 4.5, 40.0}) {
+      EXPECT_NEAR(std::exp(ChiSquareLogPdf(x, k)), ChiSquarePdf(x, k),
+                  1e-12 * ChiSquarePdf(x, k) + 1e-300);
+    }
+  }
+}
+
+TEST(ErfTest, WrapsStdErf) {
+  EXPECT_DOUBLE_EQ(Erf(0.5), std::erf(0.5));
+}
+
+TEST(NormalQuantileTest, ExtremeTailsStayFiniteAndOrdered) {
+  const double far_left = NormalQuantile(1e-12);
+  const double far_right = NormalQuantile(1.0 - 1e-12);
+  EXPECT_TRUE(std::isfinite(far_left));
+  EXPECT_TRUE(std::isfinite(far_right));
+  EXPECT_LT(far_left, -6.0);
+  EXPECT_GT(far_right, 6.0);
+  // The upper tail loses a few digits to cancellation in CDF(x) - p during
+  // the Newton polish; symmetry holds to ~1e-5 out here, plenty for the
+  // library's uses (tests and KDE grids).
+  EXPECT_NEAR(far_left, -far_right, 1e-4);
+}
+
+TEST(ChiSquareCdfTest, FractionalDegreesOfFreedom) {
+  // The Zhang surrogate routinely produces non-integer m; the CDF must be
+  // monotone and normalized there too.
+  double prev = 0.0;
+  for (double x = 0.1; x < 30.0; x += 0.5) {
+    const double cdf = ChiSquareCdf(x, 2.7);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+  EXPECT_NEAR(ChiSquareCdf(1e4, 2.7), 1.0, 1e-12);
+}
+
+class GammaPConsistencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaPConsistencyTest, SeriesAndFractionAgreeAtSwitchover) {
+  // P(a, x) should be continuous across the x = a + 1 branch switch.
+  const double a = GetParam();
+  const double x = a + 1.0;
+  const double below = RegularizedGammaP(a, x - 1e-9);
+  const double above = RegularizedGammaP(a, x + 1e-9);
+  EXPECT_NEAR(below, above, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(SwitchPoints, GammaPConsistencyTest,
+                         ::testing::Values(0.5, 1.0, 2.5, 10.0, 60.0, 200.0));
+
+}  // namespace
+}  // namespace sisd::stats
