@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerate the micro-benchmark snapshot used as the perf trajectory
+# anchor (BENCH_seed.json was recorded with this script at the seed).
+# Usage: scripts/bench_baseline.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_baseline.json}"
+
+# Dedicated build dir so stale cached options in a developer's build/
+# (e.g. SISD_SANITIZE) can't contaminate the recorded numbers.
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release -DSISD_SANITIZE= \
+  -DSISD_BUILD_TESTS=OFF -DSISD_BUILD_EXAMPLES=OFF
+cmake --build build-bench -j --target bench_micro_model bench_micro_search
+
+tmp_model=$(mktemp)
+tmp_search=$(mktemp)
+trap 'rm -f "$tmp_model" "$tmp_search"' EXIT
+
+./build-bench/bench/bench_micro_model --benchmark_format=json >"$tmp_model"
+./build-bench/bench/bench_micro_search --benchmark_format=json >"$tmp_search"
+
+python3 - "$tmp_model" "$tmp_search" "$out" <<'EOF'
+import json, sys
+model, search, out = sys.argv[1:4]
+with open(model) as f:
+    m = json.load(f)
+with open(search) as f:
+    s = json.load(f)
+snapshot = {
+    "context": m["context"],
+    "bench_micro_model": m["benchmarks"],
+    "bench_micro_search": s["benchmarks"],
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+EOF

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify: the exact ROADMAP command. Exits nonzero on any
+# configure, build, or test failure. CI and builders invoke this one
+# entry point.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

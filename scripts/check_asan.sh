@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Sanitizer smoke run: build with ASan+UBSan (SISD_SANITIZE) and run
+# the fast unit-labelled tests. Benches are skipped to keep the build
+# short; integration/fuzz suites are covered by the full tier-1 run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . \
+  -DSISD_SANITIZE=address,undefined \
+  -DSISD_BUILD_BENCH=OFF
+cmake --build build-asan -j
+cd build-asan
+ctest --output-on-failure -L unit -j "$(nproc)"

@@ -1,0 +1,41 @@
+// Smoke coverage for the example binaries: each one must run to
+// completion and exit 0, so examples cannot silently rot as the
+// library underneath them evolves. The binary directory is injected
+// by CMake via SISD_EXAMPLES_BIN_DIR.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <string>
+
+#ifndef SISD_EXAMPLES_BIN_DIR
+#error "SISD_EXAMPLES_BIN_DIR must be defined by the build system"
+#endif
+
+namespace {
+
+class ExamplesSmokeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExamplesSmokeTest, ExitsZero) {
+  const std::string binary =
+      std::string(SISD_EXAMPLES_BIN_DIR) + "/" + GetParam();
+  // Discard stdout: the examples narrate their analyses at length and
+  // that output is not what this test asserts on.
+  const std::string command = binary + " > /dev/null";
+  const int rc = std::system(command.c_str());
+  ASSERT_NE(rc, -1) << "failed to launch " << binary;
+  EXPECT_TRUE(WIFEXITED(rc)) << binary << " terminated abnormally";
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << binary << " exited nonzero";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllExamples, ExamplesSmokeTest,
+    ::testing::Values("quickstart", "crime_analysis", "csv_mining",
+                      "iterative_mammals", "socioeconomics_case_study",
+                      "water_quality_case_study"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      return std::string(param_info.param);
+    });
+
+}  // namespace
