@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerate the micro-benchmark snapshot used as the perf trajectory
-# anchor (BENCH_seed.json was recorded with this script at the seed).
+# Regenerate the benchmark snapshot used as the perf trajectory anchor
+# (BENCH_seed.json was recorded with this script at the seed; later
+# snapshots add the end-to-end miner benchmark bench_miner_e2e).
 # Usage: scripts/bench_baseline.sh [output.json]
 set -euo pipefail
 
@@ -11,26 +12,32 @@ out="${1:-BENCH_baseline.json}"
 # (e.g. SISD_SANITIZE) can't contaminate the recorded numbers.
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release -DSISD_SANITIZE= \
   -DSISD_BUILD_TESTS=OFF -DSISD_BUILD_EXAMPLES=OFF
-cmake --build build-bench -j --target bench_micro_model bench_micro_search
+cmake --build build-bench -j \
+  --target bench_micro_model bench_micro_search bench_miner_e2e
 
 tmp_model=$(mktemp)
 tmp_search=$(mktemp)
-trap 'rm -f "$tmp_model" "$tmp_search"' EXIT
+tmp_e2e=$(mktemp)
+trap 'rm -f "$tmp_model" "$tmp_search" "$tmp_e2e"' EXIT
 
 ./build-bench/bench/bench_micro_model --benchmark_format=json >"$tmp_model"
 ./build-bench/bench/bench_micro_search --benchmark_format=json >"$tmp_search"
+./build-bench/bench/bench_miner_e2e --benchmark_format=json >"$tmp_e2e"
 
-python3 - "$tmp_model" "$tmp_search" "$out" <<'EOF'
+python3 - "$tmp_model" "$tmp_search" "$tmp_e2e" "$out" <<'EOF'
 import json, sys
-model, search, out = sys.argv[1:4]
+model, search, e2e, out = sys.argv[1:5]
 with open(model) as f:
     m = json.load(f)
 with open(search) as f:
     s = json.load(f)
+with open(e2e) as f:
+    e = json.load(f)
 snapshot = {
     "context": m["context"],
     "bench_micro_model": m["benchmarks"],
     "bench_micro_search": s["benchmarks"],
+    "bench_miner_e2e": e["benchmarks"],
 }
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2)

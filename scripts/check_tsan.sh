@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# ThreadSanitizer variant of the parallel beam-search tests: builds with
+# SISD_SANITIZE=thread and runs the suites that exercise the batch
+# evaluation engine's worker pool (batch_evaluator_test's parallel scoring,
+# thread_invariance_test's multi-threaded mining, beam_search_test).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -S . \
+  -DSISD_SANITIZE=thread \
+  -DSISD_BUILD_BENCH=OFF \
+  -DSISD_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j \
+  --target batch_evaluator_test thread_invariance_test beam_search_test
+cd build-tsan
+ctest --output-on-failure \
+  -R 'batch_evaluator_test|thread_invariance_test|beam_search_test'

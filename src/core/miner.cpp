@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.hpp"
+#include "search/si_evaluator.hpp"
 
 namespace sisd::core {
 
@@ -43,23 +44,15 @@ Result<IterativeMiner> IterativeMiner::Create(const data::Dataset& dataset,
                         std::move(assimilator));
 }
 
-search::QualityFunction IterativeMiner::MakeLocationQuality() const {
-  const model::BackgroundModel* model = &assimilator_.model();
-  const linalg::Matrix* y = &dataset_->targets;
-  const si::DescriptionLengthParams dl = config_.dl;
-  return [model, y, dl](const pattern::Intention& intention,
-                        const pattern::Extension& extension) {
-    const linalg::Vector mean = pattern::SubgroupMean(*y, extension);
-    const si::LocationScore score = si::ScoreLocation(
-        *model, extension, mean, intention.size(), dl);
-    return score.si;
-  };
-}
-
 Result<IterationResult> IterativeMiner::MineNext() {
-  search::SearchResult search_result =
-      search::BeamSearch(dataset_->descriptions, pool_, config_.search,
-                         MakeLocationQuality());
+  // One batch evaluator per iteration, bound to the current model snapshot:
+  // beam search scores candidate batches through it (in parallel when
+  // configured), and the final top-k is rescored through the same warmed
+  // contexts instead of re-running `si::ScoreLocation` from scratch.
+  search::SiLocationEvaluator evaluator(assimilator_.model(),
+                                        dataset_->targets, config_.dl);
+  search::SearchResult search_result = search::BeamSearch(
+      dataset_->descriptions, pool_, config_.search, evaluator);
   if (search_result.top.empty()) {
     return Status::NotFound(
         "beam search found no subgroup satisfying the constraints");
@@ -77,10 +70,9 @@ Result<IterationResult> IterativeMiner::MineNext() {
     entry.pattern =
         pattern::LocationPattern::Compute(std::move(subgroup),
                                           dataset_->targets);
-    entry.score = si::ScoreLocation(
-        assimilator_.model(), entry.pattern.subgroup.extension,
-        entry.pattern.mean, entry.pattern.subgroup.intention.size(),
-        config_.dl);
+    entry.score = evaluator.ScoreSubgroup(
+        entry.pattern.subgroup.extension, entry.pattern.mean,
+        entry.pattern.subgroup.intention.size());
     iteration.ranked.push_back(std::move(entry));
   }
   iteration.location = iteration.ranked.front();

@@ -141,9 +141,6 @@ class IterativeMiner {
         pool_(std::move(pool)),
         assimilator_(std::move(assimilator)) {}
 
-  /// The SI quality function bound to the current model.
-  search::QualityFunction MakeLocationQuality() const;
-
   const data::Dataset* dataset_;
   MinerConfig config_;
   search::ConditionPool pool_;

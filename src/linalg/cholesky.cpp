@@ -57,16 +57,23 @@ Matrix Cholesky::SolveMatrix(const Matrix& b) const {
 }
 
 Vector Cholesky::ForwardSolve(const Vector& b) const {
+  Vector z;
+  ForwardSolveInto(b, &z);
+  return z;
+}
+
+void Cholesky::ForwardSolveInto(const Vector& b, Vector* out) const {
   SISD_CHECK(b.size() == dim());
+  SISD_CHECK(out != nullptr && out != &b);
   const size_t n = dim();
-  Vector z(n);
+  if (out->size() != n) *out = Vector(n);
+  Vector& z = *out;
   for (size_t i = 0; i < n; ++i) {
     double acc = b[i];
     const double* lrow = l_.RowData(i);
     for (size_t k = 0; k < i; ++k) acc -= lrow[k] * z[k];
     z[i] = acc / lrow[i];
   }
-  return z;
 }
 
 Matrix Cholesky::Inverse() const {
@@ -93,6 +100,12 @@ double Cholesky::LogDeterminant() const {
 double Cholesky::InverseQuadraticForm(const Vector& b) const {
   Vector z = ForwardSolve(b);
   return z.SquaredNorm();
+}
+
+double Cholesky::InverseQuadraticForm(const Vector& b,
+                                      Vector* scratch) const {
+  ForwardSolveInto(b, scratch);
+  return scratch->SquaredNorm();
 }
 
 Matrix SpdInverse(const Matrix& a) {

@@ -41,6 +41,10 @@ class Cholesky {
   /// if `A = L L'` and `z = L^{-1}(x - mu)` then `z ~ N(0, I)`.
   Vector ForwardSolve(const Vector& b) const;
 
+  /// Allocation-free forward solve into `*z` (resized if needed). `z` must
+  /// not alias `b`.
+  void ForwardSolveInto(const Vector& b, Vector* z) const;
+
   /// The inverse `A^{-1}` as a dense (symmetric) matrix.
   Matrix Inverse() const;
 
@@ -49,6 +53,10 @@ class Cholesky {
 
   /// Quadratic form with the inverse: `b' A^{-1} b`, via one forward solve.
   double InverseQuadraticForm(const Vector& b) const;
+
+  /// Allocation-free variant: uses `*scratch` for the forward solve.
+  /// Bit-identical to `InverseQuadraticForm(b)`.
+  double InverseQuadraticForm(const Vector& b, Vector* scratch) const;
 
  private:
   explicit Cholesky(Matrix l) : l_(std::move(l)) {}

@@ -29,6 +29,14 @@ Vector& Vector::operator/=(double scale) {
   return *this;
 }
 
+void Vector::AssignDifference(const Vector& a, const Vector& b) {
+  SISD_DCHECK(a.size() == b.size());
+  data_.resize(a.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = a.data_[i] - b.data_[i];
+  }
+}
+
 Vector& Vector::AddScaled(const Vector& other, double scale) {
   SISD_DCHECK(size() == other.size());
   for (size_t i = 0; i < data_.size(); ++i) {

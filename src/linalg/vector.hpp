@@ -68,6 +68,9 @@ class Vector {
   Vector& operator/=(double scale);
   /// Adds `scale * other` (axpy).
   Vector& AddScaled(const Vector& other, double scale);
+  /// Overwrites with `a - b` (resized if needed; allocation-free once
+  /// sized). Bit-identical to `a - b`.
+  void AssignDifference(const Vector& a, const Vector& b);
   /// @}
 
   /// Euclidean inner product with `other`.

@@ -86,20 +86,50 @@ double BackgroundModel::GroupLogDetSigma(size_t g) const {
 
 std::vector<size_t> BackgroundModel::GroupCounts(
     const pattern::Extension& extension) const {
+  std::vector<size_t> counts;
+  GroupCountsInto(extension, &counts);
+  return counts;
+}
+
+void BackgroundModel::GroupCountsInto(const pattern::Extension& extension,
+                                      std::vector<size_t>* out) const {
   SISD_CHECK(extension.universe_size() == num_rows_);
-  std::vector<size_t> counts(groups_.size(), 0);
+  SISD_CHECK(out != nullptr);
+  out->resize(groups_.size());
   for (size_t g = 0; g < groups_.size(); ++g) {
-    counts[g] = pattern::Extension::IntersectionCount(groups_[g].rows,
+    (*out)[g] = pattern::Extension::IntersectionCount(groups_[g].rows,
                                                       extension);
   }
-  return counts;
+}
+
+void BackgroundModel::GroupCountsMaskedInto(const pattern::Extension& a,
+                                            const pattern::Extension& b,
+                                            std::vector<size_t>* out) const {
+  SISD_CHECK(a.universe_size() == num_rows_ &&
+             b.universe_size() == num_rows_);
+  SISD_CHECK(out != nullptr);
+  out->resize(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    (*out)[g] =
+        pattern::Extension::IntersectionCountAnd(groups_[g].rows, a, b);
+  }
+}
+
+void BackgroundModel::WarmGroupCaches() const {
+  for (size_t g = 0; g < groups_.size(); ++g) GroupCholesky(g);
 }
 
 MeanStatisticMarginal BackgroundModel::MeanStatMarginal(
     const pattern::Extension& extension) const {
   SISD_CHECK(!extension.empty());
-  const std::vector<size_t> counts = GroupCounts(extension);
-  const double size = double(extension.count());
+  return MeanStatMarginalFromCounts(GroupCounts(extension),
+                                    double(extension.count()));
+}
+
+MeanStatisticMarginal BackgroundModel::MeanStatMarginalFromCounts(
+    const std::vector<size_t>& counts, double size) const {
+  SISD_CHECK(counts.size() == groups_.size());
+  SISD_CHECK(size > 0.0);
   MeanStatisticMarginal out;
   out.mean = linalg::Vector(dim_);
   out.cov = linalg::Matrix(dim_, dim_);

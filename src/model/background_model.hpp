@@ -94,6 +94,10 @@ class BackgroundModel {
     return group_of_row_[row];
   }
 
+  /// Row -> group map (one entry per row; the evaluation engine precomputes
+  /// per-row group ids from this).
+  const std::vector<uint32_t>& GroupOfRows() const { return group_of_row_; }
+
   /// Group by index.
   const ParameterGroup& group(size_t g) const {
     SISD_DCHECK(g < groups_.size());
@@ -126,9 +130,32 @@ class BackgroundModel {
   /// (vector indexed by group id).
   std::vector<size_t> GroupCounts(const pattern::Extension& extension) const;
 
+  /// Allocation-free variant: writes the per-group counts into `*out`
+  /// (resized to `num_groups()` if needed).
+  void GroupCountsInto(const pattern::Extension& extension,
+                       std::vector<size_t>* out) const;
+
+  /// Per-group counts of the *virtual* extension `a & b`, computed with a
+  /// fused masked popcount (nothing materialized).
+  void GroupCountsMaskedInto(const pattern::Extension& a,
+                             const pattern::Extension& b,
+                             std::vector<size_t>* out) const;
+
+  /// Forces every group's Cholesky factorization into the cache. Call this
+  /// before sharing the model read-only across threads: `GroupCholesky` is
+  /// lazily caching and therefore not safe for concurrent first access.
+  void WarmGroupCaches() const;
+
   /// Marginal law of the subgroup-mean statistic for `extension`.
   MeanStatisticMarginal MeanStatMarginal(
       const pattern::Extension& extension) const;
+
+  /// Marginal law from precomputed per-group counts (`counts[g]` rows of
+  /// group `g`; `size` = their sum, > 0). The single implementation behind
+  /// `MeanStatMarginal` and the evaluation engine's marginal cache, so both
+  /// paths are bit-identical by construction.
+  MeanStatisticMarginal MeanStatMarginalFromCounts(
+      const std::vector<size_t>& counts, double size) const;
 
   /// Per-group terms of the directional-variance law for `extension`,
   /// direction `w` (unit), anchored at `anchor` (the empirical mean).

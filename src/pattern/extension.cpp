@@ -69,11 +69,38 @@ Extension Extension::Intersect(const Extension& a, const Extension& b) {
   return out;
 }
 
+size_t Extension::IntersectInto(const Extension& a, const Extension& b,
+                                Extension* out) {
+  SISD_CHECK(a.n_ == b.n_);
+  SISD_CHECK(out != nullptr);
+  out->n_ = a.n_;
+  out->blocks_.resize(a.blocks_.size());
+  size_t count = 0;
+  for (size_t i = 0; i < a.blocks_.size(); ++i) {
+    const uint64_t block = a.blocks_[i] & b.blocks_[i];
+    out->blocks_[i] = block;
+    count += static_cast<size_t>(std::popcount(block));
+  }
+  out->count_ = count;
+  return count;
+}
+
 size_t Extension::IntersectionCount(const Extension& a, const Extension& b) {
   SISD_CHECK(a.n_ == b.n_);
   size_t count = 0;
   for (size_t i = 0; i < a.blocks_.size(); ++i) {
     count += static_cast<size_t>(std::popcount(a.blocks_[i] & b.blocks_[i]));
+  }
+  return count;
+}
+
+size_t Extension::IntersectionCountAnd(const Extension& a, const Extension& b,
+                                       const Extension& c) {
+  SISD_CHECK(a.n_ == b.n_ && a.n_ == c.n_);
+  size_t count = 0;
+  for (size_t i = 0; i < a.blocks_.size(); ++i) {
+    count += static_cast<size_t>(
+        std::popcount(a.blocks_[i] & b.blocks_[i] & c.blocks_[i]));
   }
   return count;
 }

@@ -9,6 +9,7 @@
 #ifndef SISD_PATTERN_EXTENSION_HPP_
 #define SISD_PATTERN_EXTENSION_HPP_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -58,8 +59,20 @@ class Extension {
   /// Returns the intersection of two extensions.
   static Extension Intersect(const Extension& a, const Extension& b);
 
+  /// Writes the intersection of `a` and `b` into `*out`, reusing `out`'s
+  /// block storage when its universe already matches (no allocation then).
+  /// Returns the intersection count.
+  static size_t IntersectInto(const Extension& a, const Extension& b,
+                              Extension* out);
+
   /// Size of the intersection without materializing it.
   static size_t IntersectionCount(const Extension& a, const Extension& b);
+
+  /// Size of the three-way intersection `a & b & c` without materializing
+  /// anything (fused masked popcount; the batch evaluation engine uses this
+  /// for per-group candidate counts).
+  static size_t IntersectionCountAnd(const Extension& a, const Extension& b,
+                                     const Extension& c);
 
   /// True iff the two extensions share no row.
   static bool Disjoint(const Extension& a, const Extension& b) {
@@ -68,6 +81,33 @@ class Extension {
 
   /// Row indices in ascending order.
   std::vector<size_t> ToRows() const;
+
+  /// Calls `fn(row)` for every member row in ascending order, straight off
+  /// the blocks (no allocation, same visit order as `ToRows`).
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      uint64_t block = blocks_[b];
+      while (block != 0) {
+        fn((b << 6) + static_cast<size_t>(std::countr_zero(block)));
+        block &= block - 1;
+      }
+    }
+  }
+
+  /// Calls `fn(row)` for every row of `a & b` in ascending order without
+  /// materializing the intersection (fused kernel for masked accumulation).
+  template <typename Fn>
+  static void ForEachRowAnd(const Extension& a, const Extension& b, Fn&& fn) {
+    SISD_CHECK(a.n_ == b.n_);
+    for (size_t i = 0; i < a.blocks_.size(); ++i) {
+      uint64_t block = a.blocks_[i] & b.blocks_[i];
+      while (block != 0) {
+        fn((i << 6) + static_cast<size_t>(std::countr_zero(block)));
+        block &= block - 1;
+      }
+    }
+  }
 
   /// Raw blocks (read-only; 64 rows per block, row 0 = bit 0 of block 0).
   const std::vector<uint64_t>& blocks() const { return blocks_; }

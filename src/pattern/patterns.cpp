@@ -47,15 +47,60 @@ std::string SpreadPattern::ToString(const data::DataTable& table) const {
 
 linalg::Vector SubgroupMean(const linalg::Matrix& y,
                             const Extension& extension) {
+  linalg::Vector mean;
+  SubgroupMeanInto(y, extension, &mean);
+  return mean;
+}
+
+void SubgroupMeanInto(const linalg::Matrix& y, const Extension& extension,
+                      linalg::Vector* out) {
   SISD_CHECK(!extension.empty());
   SISD_CHECK(extension.universe_size() == y.rows());
-  linalg::Vector mean(y.cols());
-  for (size_t i : extension.ToRows()) {
-    const double* row = y.RowData(i);
-    for (size_t c = 0; c < y.cols(); ++c) mean[c] += row[c];
+  SISD_CHECK(out != nullptr);
+  if (out->size() != y.cols()) *out = linalg::Vector(y.cols());
+  linalg::Vector& mean = *out;
+  const size_t cols = y.cols();
+  if (cols == 1) {
+    const double* values = y.RowData(0);
+    double sum = 0.0;
+    extension.ForEachRow([values, &sum](size_t i) { sum += values[i]; });
+    mean[0] = sum / double(extension.count());
+    return;
   }
+  mean.Fill(0.0);
+  extension.ForEachRow([&y, &mean, cols](size_t i) {
+    const double* row = y.RowData(i);
+    for (size_t c = 0; c < cols; ++c) mean[c] += row[c];
+  });
   mean /= double(extension.count());
-  return mean;
+}
+
+void MaskedSubgroupMeanInto(const linalg::Matrix& y, const Extension& a,
+                            const Extension& b, size_t count,
+                            linalg::Vector* out) {
+  SISD_CHECK(count > 0);
+  SISD_CHECK(a.universe_size() == y.rows());
+  SISD_CHECK(out != nullptr);
+  if (out->size() != y.cols()) *out = linalg::Vector(y.cols());
+  linalg::Vector& mean = *out;
+  const size_t cols = y.cols();
+  if (cols == 1) {
+    // Univariate targets are one contiguous array; a plain gather over the
+    // fused bit scan beats the generic row-pointer path noticeably (this is
+    // the single hottest loop of the whole miner).
+    const double* values = y.RowData(0);
+    double sum = 0.0;
+    Extension::ForEachRowAnd(a, b,
+                             [values, &sum](size_t i) { sum += values[i]; });
+    mean[0] = sum / double(count);
+    return;
+  }
+  mean.Fill(0.0);
+  Extension::ForEachRowAnd(a, b, [&y, &mean, cols](size_t i) {
+    const double* row = y.RowData(i);
+    for (size_t c = 0; c < cols; ++c) mean[c] += row[c];
+  });
+  mean /= double(count);
 }
 
 double SubgroupVarianceAlong(const linalg::Matrix& y,

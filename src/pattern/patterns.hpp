@@ -64,6 +64,20 @@ struct SpreadPattern {
 linalg::Vector SubgroupMean(const linalg::Matrix& y,
                             const Extension& extension);
 
+/// \brief Allocation-free variant of `SubgroupMean`: writes the mean into
+/// `*out` (resized to `y.cols()` if needed; no allocation once sized).
+/// Bit-identical accumulation order to `SubgroupMean`.
+void SubgroupMeanInto(const linalg::Matrix& y, const Extension& extension,
+                      linalg::Vector* out);
+
+/// \brief Masked target-sum kernel: the empirical mean of `y` over the rows
+/// of `a & b`, without materializing the intersection. `count` must equal
+/// `Extension::IntersectionCount(a, b)` and be positive. Bit-identical to
+/// `SubgroupMean(y, Intersect(a, b))`.
+void MaskedSubgroupMeanInto(const linalg::Matrix& y, const Extension& a,
+                            const Extension& b, size_t count,
+                            linalg::Vector* out);
+
 /// \brief Empirical subgroup variance along `w`: Eq. (2) evaluated on data
 /// (spread measured around the subgroup's own empirical mean).
 double SubgroupVarianceAlong(const linalg::Matrix& y,

@@ -1,15 +1,24 @@
 #include "search/beam_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
+
+#include "search/thread_pool.hpp"
 
 namespace sisd::search {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Scoring (and generation) chunk size: the wall-clock budget is checked
+/// once per chunk instead of per candidate (`steady_clock::now()` is
+/// measurable on the hot path).
+constexpr size_t kCandidateChunk = 256;
 
 /// Beam entry: intention as pool-condition indices (sorted = canonical).
 struct BeamEntry {
@@ -43,6 +52,13 @@ class TopList {
  public:
   TopList(size_t capacity) : capacity_(capacity) {}
 
+  /// True iff an offer with this quality could enter the list (the
+  /// candidate-materialization gate: extensions are only built for
+  /// candidates some list would accept).
+  bool WouldAccept(double quality) const {
+    return entries_.size() < capacity_ || quality > WorstQuality();
+  }
+
   void Offer(const std::vector<uint32_t>& ids,
              const pattern::Extension& extension, double quality) {
     if (entries_.size() >= capacity_ && quality <= WorstQuality()) return;
@@ -61,8 +77,11 @@ class TopList {
     }
   }
 
+  /// Consumes the list: entries are moved out (bitset copies are not free),
+  /// leaving it empty.
   std::vector<BeamEntry> SortedDescending() {
-    std::vector<BeamEntry> out = entries_;
+    std::vector<BeamEntry> out = std::move(entries_);
+    entries_.clear();
     std::sort(out.begin(), out.end(), [](const BeamEntry& a,
                                          const BeamEntry& b) {
       return a.quality > b.quality;
@@ -91,11 +110,38 @@ class TopList {
   std::vector<std::vector<uint32_t>> seen_erase_candidates_;
 };
 
+/// Adapter scoring candidates through a legacy `QualityFunction`. The
+/// callback protocol materializes the extension and reconstructs the
+/// intention per candidate (what the batch protocol exists to avoid), and
+/// arbitrary callbacks are not assumed thread-safe, so this evaluator is
+/// single-threaded.
+class CallbackEvaluator final : public BatchEvaluator {
+ public:
+  explicit CallbackEvaluator(const QualityFunction& quality)
+      : quality_(&quality) {}
+
+  void ScoreChunk(const CandidateBatch& batch, size_t begin, size_t end,
+                  size_t worker, double* scores) override {
+    (void)worker;
+    for (size_t i = begin; i < end; ++i) {
+      const CandidateBatch::Item& item = batch.items[i];
+      const pattern::Extension extension = pattern::Extension::Intersect(
+          batch.parent_extension(item), batch.condition_extension(item));
+      const pattern::Intention intention =
+          MakeIntention(*batch.pool, batch.ids[i]);
+      scores[i] = (*quality_)(intention, extension);
+    }
+  }
+
+ private:
+  const QualityFunction* quality_;
+};
+
 }  // namespace
 
 SearchResult BeamSearch(const data::DataTable& table,
                         const ConditionPool& pool, const SearchConfig& config,
-                        const QualityFunction& quality) {
+                        BatchEvaluator& evaluator) {
   SISD_CHECK(config.beam_width >= 1);
   SISD_CHECK(config.max_depth >= 1);
   const size_t n = table.num_rows();
@@ -104,6 +150,14 @@ SearchResult BeamSearch(const data::DataTable& table,
   const size_t min_coverage = std::max<size_t>(config.min_coverage, 1);
   const size_t max_coverage = static_cast<size_t>(
       config.max_coverage_fraction * double(n));
+
+  const size_t num_workers =
+      evaluator.SupportsParallelScoring()
+          ? ThreadPool::ResolveNumThreads(config.num_threads)
+          : 1;
+  evaluator.Prepare(num_workers);
+  std::optional<ThreadPool> workers;
+  if (num_workers > 1) workers.emplace(num_workers);
 
   SearchResult result;
   TopList top_list(config.top_k);
@@ -116,52 +170,131 @@ SearchResult BeamSearch(const data::DataTable& table,
 
   std::unordered_set<std::vector<uint32_t>, IdVectorHash> evaluated;
   std::vector<BeamEntry> beam;
+  const std::vector<uint32_t> empty_ids;
+  const pattern::Extension full_extension(n, /*full=*/true);
+
+  std::vector<double> scores;
+  std::vector<uint8_t> chunk_scored;
+  size_t generation_ticks = 0;
 
   // Level 1 candidates: every pool condition. Deeper levels: beam x pool.
   for (int depth = 1; depth <= config.max_depth; ++depth) {
-    TopList level_best(static_cast<size_t>(config.beam_width));
-    const std::vector<BeamEntry>* parents = nullptr;
-    BeamEntry root;  // empty intention (depth-1 parent)
-    std::vector<BeamEntry> root_vec;
-    if (depth == 1) {
-      root.extension = pattern::Extension(n, /*full=*/true);
-      root_vec.push_back(std::move(root));
-      parents = &root_vec;
-    } else {
-      parents = &beam;
+    if (Clock::now() >= deadline) {
+      result.hit_time_budget = true;
+      break;
     }
-    if (parents->empty()) break;
 
-    for (const BeamEntry& parent : *parents) {
-      if (Clock::now() >= deadline) {
-        result.hit_time_budget = true;
-        break;
+    // ---- Phase 1: generate this level's candidate batch ----------------
+    // Deterministic order: parents in beam order, conditions ascending.
+    CandidateBatch batch;
+    batch.pool = &pool;
+    batch.depth = static_cast<size_t>(depth);
+    if (depth == 1) {
+      batch.parents.push_back(&full_extension);
+      batch.parent_ids.push_back(&empty_ids);
+    } else {
+      batch.parents.reserve(beam.size());
+      batch.parent_ids.reserve(beam.size());
+      for (const BeamEntry& entry : beam) {
+        batch.parents.push_back(&entry.extension);
+        batch.parent_ids.push_back(&entry.condition_ids);
       }
+    }
+    if (batch.parents.empty()) break;
+
+    for (uint32_t pi = 0;
+         pi < batch.parents.size() && !result.hit_time_budget; ++pi) {
       // Reconstruct the parent's intention once for the constraint checks.
-      pattern::Intention parent_intention =
-          MakeIntention(pool, parent.condition_ids);
+      const pattern::Intention parent_intention =
+          MakeIntention(pool, *batch.parent_ids[pi]);
+      const pattern::Extension& parent_extension = *batch.parents[pi];
       for (uint32_t cid = 0; cid < pool.size(); ++cid) {
+        if ((++generation_ticks & (kCandidateChunk - 1)) == 0 &&
+            Clock::now() >= deadline) {
+          result.hit_time_budget = true;
+          break;
+        }
         const pattern::Condition& cond = pool.condition(cid);
         if (!parent_intention.AllowsRefinementWith(cond)) continue;
-        std::vector<uint32_t> ids = parent.condition_ids;
+        std::vector<uint32_t> ids = *batch.parent_ids[pi];
         ids.insert(std::upper_bound(ids.begin(), ids.end(), cid), cid);
         if (!evaluated.insert(ids).second) continue;
 
-        pattern::Extension extension =
-            pattern::Extension::Intersect(parent.extension,
-                                          pool.extension(cid));
-        if (extension.count() < min_coverage ||
-            extension.count() > max_coverage || extension.count() == n) {
+        const size_t count = pattern::Extension::IntersectionCount(
+            parent_extension, pool.extension(cid));
+        if (count < min_coverage || count > max_coverage || count == n) {
           continue;
         }
-        const pattern::Intention intention = MakeIntention(pool, ids);
-        const double q = quality(intention, extension);
-        ++result.num_evaluated;
-        if (q == -std::numeric_limits<double>::infinity()) continue;
-        level_best.Offer(ids, extension, q);
-        top_list.Offer(ids, extension, q);
+        batch.items.push_back(
+            {pi, cid, static_cast<uint32_t>(count)});
+        batch.ids.push_back(std::move(ids));
       }
-      if (result.hit_time_budget) break;
+    }
+
+    // ---- Phase 2: score the batch in chunks ----------------------------
+    // Scores land at fixed candidate indices, so parallel scheduling cannot
+    // change the outcome (see the determinism note in beam_search.hpp for
+    // the finite-budget caveat). When the budget already expired during
+    // generation, only a small fixed prefix of the batch is scored
+    // sequentially: the level still contributes partial results, while the
+    // overshoot past the deadline stays bounded by ~kExpiredSliceChunks
+    // chunks of evaluation instead of a whole beam level.
+    scores.assign(batch.size(), -std::numeric_limits<double>::infinity());
+    chunk_scored.assign(batch.size(), 0);
+    if (result.hit_time_budget) {
+      constexpr size_t kExpiredSliceChunks = 4;
+      const size_t slice =
+          std::min(batch.size(), kExpiredSliceChunks * kCandidateChunk);
+      for (size_t begin = 0; begin < slice; begin += kCandidateChunk) {
+        const size_t end = std::min(begin + kCandidateChunk, slice);
+        evaluator.ScoreChunk(batch, begin, end, /*worker=*/0,
+                             scores.data());
+        std::fill(chunk_scored.begin() + ptrdiff_t(begin),
+                  chunk_scored.begin() + ptrdiff_t(end), uint8_t{1});
+      }
+    } else {
+      std::atomic<bool> expired{false};
+      const auto score_chunk = [&](size_t begin, size_t end,
+                                   size_t worker) {
+        if (expired.load(std::memory_order_relaxed)) return;
+        if (Clock::now() >= deadline) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
+        evaluator.ScoreChunk(batch, begin, end, worker, scores.data());
+        std::fill(chunk_scored.begin() + ptrdiff_t(begin),
+                  chunk_scored.begin() + ptrdiff_t(end), uint8_t{1});
+      };
+      if (workers.has_value()) {
+        workers->ParallelChunks(batch.size(), kCandidateChunk, score_chunk);
+      } else {
+        for (size_t begin = 0; begin < batch.size();
+             begin += kCandidateChunk) {
+          score_chunk(begin,
+                      std::min(begin + kCandidateChunk, batch.size()), 0);
+        }
+      }
+      if (expired.load(std::memory_order_relaxed)) {
+        result.hit_time_budget = true;
+      }
+    }
+
+    // ---- Phase 3: merge in candidate-index order -----------------------
+    // Sequential and order-fixed: output is bit-identical to a
+    // single-threaded run. Extensions are materialized only for candidates
+    // some list would accept.
+    TopList level_best(static_cast<size_t>(config.beam_width));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!chunk_scored[i]) continue;
+      ++result.num_evaluated;
+      const double q = scores[i];
+      if (q == -std::numeric_limits<double>::infinity()) continue;
+      if (!level_best.WouldAccept(q) && !top_list.WouldAccept(q)) continue;
+      const CandidateBatch::Item& item = batch.items[i];
+      const pattern::Extension extension = pattern::Extension::Intersect(
+          batch.parent_extension(item), batch.condition_extension(item));
+      level_best.Offer(batch.ids[i], extension, q);
+      top_list.Offer(batch.ids[i], extension, q);
     }
     beam = level_best.SortedDescending();
     if (result.hit_time_budget) break;
@@ -175,6 +308,13 @@ SearchResult BeamSearch(const data::DataTable& table,
     result.top.push_back(std::move(scored));
   }
   return result;
+}
+
+SearchResult BeamSearch(const data::DataTable& table,
+                        const ConditionPool& pool, const SearchConfig& config,
+                        const QualityFunction& quality) {
+  CallbackEvaluator evaluator(quality);
+  return BeamSearch(table, pool, config, evaluator);
 }
 
 }  // namespace sisd::search

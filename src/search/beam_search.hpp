@@ -2,11 +2,15 @@
 /// \brief Level-wise beam search over conjunctions of conditions
 /// (paper §II-D, "Location pattern").
 ///
-/// The search is generic in the quality function, so the same engine drives
+/// The search is generic in the quality scorer, so the same engine drives
 /// (a) the SI-based location-pattern search of the paper and (b) the
-/// baseline quality measures used for comparison. Candidates are scored via
-/// a callback; the beam keeps the `beam_width` best per level and a global
-/// top-`k` list collects the best subgroups seen anywhere in the search.
+/// baseline quality measures used for comparison. Per beam level the search
+/// generates one candidate batch and scores it through a `BatchEvaluator`
+/// (in parallel when the evaluator allows it); the beam keeps the
+/// `beam_width` best per level and a global top-`k` list collects the best
+/// subgroups seen anywhere in the search. Results are merged in candidate
+/// generation order, so the output is bit-identical for any thread count.
+/// A `QualityFunction` callback overload is kept for arbitrary measures.
 
 #ifndef SISD_SEARCH_BEAM_SEARCH_HPP_
 #define SISD_SEARCH_BEAM_SEARCH_HPP_
@@ -19,6 +23,7 @@
 #include "data/table.hpp"
 #include "pattern/condition.hpp"
 #include "pattern/extension.hpp"
+#include "search/batch_evaluator.hpp"
 #include "search/condition_pool.hpp"
 
 namespace sisd::search {
@@ -35,6 +40,13 @@ struct SearchConfig {
   double max_coverage_fraction = 1.0;
   /// Wall-clock budget; the search stops gracefully when exceeded.
   double time_budget_seconds = std::numeric_limits<double>::infinity();
+  /// Scoring threads: >= 1 is taken literally; 0 resolves through the
+  /// `SISD_THREADS` environment variable, then hardware concurrency. Only
+  /// used when the evaluator supports parallel scoring. As long as the
+  /// search does not hit the wall-clock budget, the output is bit-identical
+  /// for every setting; a search cut off by `time_budget_seconds` returns
+  /// a timing-dependent partial result (as any wall-clock cutoff must).
+  int num_threads = 0;
 };
 
 /// \brief Quality callback: returns the score of a candidate subgroup.
@@ -67,7 +79,15 @@ struct SearchResult {
   }
 };
 
-/// \brief Runs beam search over `pool` with quality `quality`.
+/// \brief Runs beam search over `pool`, scoring candidate batches through
+/// `evaluator` (the primary engine entry point).
+SearchResult BeamSearch(const data::DataTable& table,
+                        const ConditionPool& pool, const SearchConfig& config,
+                        BatchEvaluator& evaluator);
+
+/// \brief Callback compatibility overload: wraps `quality` in a
+/// single-threaded batch evaluator (arbitrary callbacks are not assumed
+/// thread-safe). Behaviour and results match the batch entry point.
 SearchResult BeamSearch(const data::DataTable& table,
                         const ConditionPool& pool, const SearchConfig& config,
                         const QualityFunction& quality);

@@ -1,0 +1,101 @@
+#include "search/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/status.hpp"
+
+namespace sisd::search {
+
+size_t ThreadPool::ResolveNumThreads(int configured) {
+  if (configured >= 1) {
+    return std::min<size_t>(static_cast<size_t>(configured), kMaxThreads);
+  }
+  if (const char* env = std::getenv("SISD_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return std::min<size_t>(static_cast<size_t>(parsed), kMaxThreads);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(std::max<size_t>(hw, 1), kMaxThreads);
+}
+
+ThreadPool::ThreadPool(size_t num_workers) : num_workers_(num_workers) {
+  SISD_CHECK(num_workers >= 1);
+  threads_.reserve(num_workers - 1);
+  for (size_t id = 1; id < num_workers; ++id) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelChunks(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  SISD_CHECK(grain >= 1);
+  if (n == 0) return;
+  if (num_workers_ == 1 || n <= grain) {
+    // Inline fast path: no synchronization needed.
+    for (size_t begin = 0; begin < n; begin += grain) {
+      fn(begin, std::min(begin + grain, n), 0);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_grain_ = grain;
+    job_cursor_.store(0, std::memory_order_relaxed);
+    workers_active_ = threads_.size();
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+
+  RunJobChunks(/*worker_id=*/0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+    }
+    RunJobChunks(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunJobChunks(size_t worker_id) {
+  for (;;) {
+    const size_t begin =
+        job_cursor_.fetch_add(job_grain_, std::memory_order_relaxed);
+    if (begin >= job_n_) return;
+    (*job_fn_)(begin, std::min(begin + job_grain_, job_n_), worker_id);
+  }
+}
+
+}  // namespace sisd::search

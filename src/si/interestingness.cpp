@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/cholesky.hpp"
+#include "si/evaluation_context.hpp"
 
 namespace sisd::si {
 
@@ -27,41 +28,10 @@ double SpreadDescriptionLength(size_t num_conditions,
 double LocationIC(const model::BackgroundModel& model,
                   const pattern::Extension& extension,
                   const linalg::Vector& empirical_mean) {
-  SISD_CHECK(!extension.empty());
-  const size_t dy = model.dim();
-  const double size = double(extension.count());
-  const std::vector<size_t> counts = model.GroupCounts(extension);
-
-  // Identify whether the extension lies inside a single parameter group.
-  size_t single_group = 0;
-  size_t groups_hit = 0;
-  for (size_t g = 0; g < counts.size(); ++g) {
-    if (counts[g] > 0) {
-      ++groups_hit;
-      single_group = g;
-    }
-  }
-  SISD_CHECK(groups_hit > 0);
-
-  if (groups_hit == 1) {
-    // Sigma_I = Sigma_g / |I|  =>  logdet = logdet(Sigma_g) - dy*log|I|,
-    // and (x)'(Sigma_g/|I|)^{-1}(x) = |I| * x' Sigma_g^{-1} x.
-    const linalg::Vector diff =
-        empirical_mean - model.group(single_group).mu;
-    const double quad =
-        size * model.GroupCholesky(single_group).InverseQuadraticForm(diff);
-    const double logdet =
-        model.GroupLogDetSigma(single_group) - double(dy) * std::log(size);
-    return 0.5 * (double(dy) * kLog2Pi + logdet) + 0.5 * quad;
-  }
-
-  const model::MeanStatisticMarginal marginal =
-      model.MeanStatMarginal(extension);
-  Result<linalg::Cholesky> chol = linalg::Cholesky::Compute(marginal.cov);
-  chol.status().CheckOK();
-  const linalg::Vector diff = empirical_mean - marginal.mean;
-  return 0.5 * (double(dy) * kLog2Pi + chol.Value().LogDeterminant()) +
-         0.5 * chol.Value().InverseQuadraticForm(diff);
+  // Thin wrapper over the allocation-free engine path; batch callers hold a
+  // long-lived EvaluationContext instead of paying its setup per call.
+  EvaluationContext context(model);
+  return context.LocationIC(extension, empirical_mean);
 }
 
 LocationScore ScoreLocation(const model::BackgroundModel& model,
@@ -69,11 +39,9 @@ LocationScore ScoreLocation(const model::BackgroundModel& model,
                             const linalg::Vector& empirical_mean,
                             size_t num_conditions,
                             const DescriptionLengthParams& params) {
-  LocationScore score;
-  score.ic = LocationIC(model, extension, empirical_mean);
-  score.dl = LocationDescriptionLength(num_conditions, params);
-  score.si = score.ic / score.dl;
-  return score;
+  EvaluationContext context(model);
+  return context.ScoreLocation(extension, empirical_mean, num_conditions,
+                               params);
 }
 
 stats::Chi2MixtureApprox FitSpreadSurrogate(

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "datagen/synthetic.hpp"
+#include "search/si_evaluator.hpp"
 
 namespace sisd::core {
 namespace {
@@ -201,6 +202,39 @@ TEST(MinerTest, DescribeRendersHumanReadableText) {
       data.dataset.descriptions);
   EXPECT_NE(text.find("SI="), std::string::npos);
   EXPECT_NE(text.find("n=40"), std::string::npos);
+}
+
+TEST(MinerTest, CandidatesEvaluatedCountsSearchOnly) {
+  // `candidates_evaluated` must equal the number of candidates the beam
+  // search itself scored: rescoring the returned top-k for the ranked list
+  // reuses the engine's contexts and must not re-enter (and so not
+  // double-count) the batch evaluation path.
+  const datagen::SyntheticData data = datagen::MakeSyntheticEmbedded();
+  Result<IterativeMiner> miner =
+      IterativeMiner::Create(data.dataset, FastConfig());
+  ASSERT_TRUE(miner.ok());
+  Result<IterationResult> iteration = miner.Value().MineNext();
+  ASSERT_TRUE(iteration.ok());
+
+  // Reference: the identical search run standalone against the same
+  // (initial) model snapshot.
+  Result<model::BackgroundModel> model =
+      model::BackgroundModel::CreateFromData(data.dataset.targets);
+  ASSERT_TRUE(model.ok());
+  search::SiLocationEvaluator evaluator(model.Value(), data.dataset.targets,
+                                        FastConfig().dl);
+  const search::SearchResult reference =
+      search::BeamSearch(data.dataset.descriptions,
+                         miner.Value().condition_pool(), FastConfig().search,
+                         evaluator);
+
+  // Equal to the standalone search count: had the miner's ranked-list
+  // rescoring gone through the batch path again, the iteration counter
+  // would exceed this by `ranked.size()`.
+  ASSERT_GT(iteration.Value().ranked.size(), 1u);
+  EXPECT_EQ(iteration.Value().candidates_evaluated, reference.num_evaluated);
+  // The evaluator's own batch counter agrees with the search's accounting.
+  EXPECT_EQ(evaluator.num_batch_scored(), reference.num_evaluated);
 }
 
 }  // namespace

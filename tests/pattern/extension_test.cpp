@@ -107,5 +107,87 @@ TEST(ExtensionTest, ZeroUniverse) {
   EXPECT_TRUE(ext.ToRows().empty());
 }
 
+TEST(ExtensionTest, TailMaskBoundaryUniverses) {
+  // Universe sizes straddling the 64-bit block boundary: full construction,
+  // complement and counting must agree at 0, 1, 63, 64 and 65 rows.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                   size_t{65}}) {
+    Extension full(n, /*full=*/true);
+    EXPECT_EQ(full.count(), n) << "universe " << n;
+    EXPECT_EQ(full.ToRows().size(), n) << "universe " << n;
+
+    Extension empty(n);
+    EXPECT_EQ(empty.count(), 0u) << "universe " << n;
+    empty.Complement();
+    EXPECT_EQ(empty, full) << "universe " << n;
+    EXPECT_EQ(Extension::IntersectionCount(empty, full), n)
+        << "universe " << n;
+    EXPECT_EQ(Extension::IntersectionCountAnd(empty, full, full), n)
+        << "universe " << n;
+  }
+}
+
+TEST(ExtensionTest, ComplementCountConsistencyAcrossBoundaries) {
+  for (size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                   size_t{130}}) {
+    Extension ext(n);
+    if (n > 0) ext.Insert(0);
+    if (n > 2) ext.Insert(n - 1);
+    const size_t inserted = ext.count();
+    Extension complement = ext;
+    complement.Complement();
+    EXPECT_EQ(complement.count(), n - inserted) << "universe " << n;
+    EXPECT_TRUE(Extension::Disjoint(ext, complement)) << "universe " << n;
+    complement.Complement();
+    EXPECT_EQ(complement, ext) << "universe " << n;
+  }
+}
+
+TEST(ExtensionTest, FromRowsWithDuplicateIndices) {
+  const Extension ext = Extension::FromRows(65, {64, 3, 3, 64, 3, 0});
+  EXPECT_EQ(ext.count(), 3u);
+  EXPECT_EQ(ext.ToRows(), (std::vector<size_t>{0, 3, 64}));
+}
+
+TEST(ExtensionTest, IntersectionCountAndMatchesMaterialized) {
+  const Extension a = Extension::FromRows(130, {0, 5, 63, 64, 65, 128});
+  const Extension b = Extension::FromRows(130, {5, 63, 64, 100, 129});
+  const Extension c = Extension::FromRows(130, {5, 64, 65, 100, 128});
+  const Extension ab = Extension::Intersect(a, b);
+  EXPECT_EQ(Extension::IntersectionCountAnd(a, b, c),
+            Extension::IntersectionCount(ab, c));
+  EXPECT_EQ(Extension::IntersectionCountAnd(a, b, c), 2u);  // rows 5, 64
+}
+
+TEST(ExtensionTest, IntersectIntoReusesStorageAndMatchesIntersect) {
+  const Extension a = Extension::FromRows(100, {1, 2, 3, 64, 70});
+  const Extension b = Extension::FromRows(100, {2, 3, 4, 70, 71});
+  Extension out(100);
+  const size_t count = Extension::IntersectInto(a, b, &out);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(out, Extension::Intersect(a, b));
+  EXPECT_EQ(out.count(), count);
+  // Reuse with different contents: previous bits must not leak through.
+  const Extension full(100, /*full=*/true);
+  Extension::IntersectInto(full, a, &out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(ExtensionTest, ForEachRowVisitsAscendingWithoutAllocation) {
+  const Extension ext = Extension::FromRows(200, {150, 3, 64, 127});
+  std::vector<size_t> visited;
+  ext.ForEachRow([&visited](size_t row) { visited.push_back(row); });
+  EXPECT_EQ(visited, ext.ToRows());
+}
+
+TEST(ExtensionTest, ForEachRowAndVisitsIntersectionAscending) {
+  const Extension a = Extension::FromRows(130, {0, 5, 63, 64, 65, 128});
+  const Extension b = Extension::FromRows(130, {5, 63, 64, 100, 128});
+  std::vector<size_t> visited;
+  Extension::ForEachRowAnd(a, b,
+                           [&visited](size_t row) { visited.push_back(row); });
+  EXPECT_EQ(visited, Extension::Intersect(a, b).ToRows());
+}
+
 }  // namespace
 }  // namespace sisd::pattern
