@@ -13,31 +13,40 @@ out="${1:-BENCH_baseline.json}"
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release -DSISD_SANITIZE= \
   -DSISD_BUILD_TESTS=OFF -DSISD_BUILD_EXAMPLES=OFF
 cmake --build build-bench -j \
-  --target bench_micro_model bench_micro_search bench_miner_e2e
+  --target bench_micro_model bench_micro_search bench_miner_e2e \
+           bench_session_refit
 
 tmp_model=$(mktemp)
 tmp_search=$(mktemp)
 tmp_e2e=$(mktemp)
-trap 'rm -f "$tmp_model" "$tmp_search" "$tmp_e2e"' EXIT
+tmp_refit=$(mktemp)
+trap 'rm -f "$tmp_model" "$tmp_search" "$tmp_e2e" "$tmp_refit"' EXIT
 
 ./build-bench/bench/bench_micro_model --benchmark_format=json >"$tmp_model"
 ./build-bench/bench/bench_micro_search --benchmark_format=json >"$tmp_search"
 ./build-bench/bench/bench_miner_e2e --benchmark_format=json >"$tmp_e2e"
+./build-bench/bench/bench_session_refit --benchmark_format=json >"$tmp_refit"
 
-python3 - "$tmp_model" "$tmp_search" "$tmp_e2e" "$out" <<'EOF'
+python3 - "$tmp_model" "$tmp_search" "$tmp_e2e" "$tmp_refit" "$out" <<'EOF'
 import json, sys
-model, search, e2e, out = sys.argv[1:5]
+model, search, e2e, refit, out = sys.argv[1:6]
 with open(model) as f:
     m = json.load(f)
 with open(search) as f:
     s = json.load(f)
 with open(e2e) as f:
     e = json.load(f)
+with open(refit) as f:
+    r = json.load(f)
 snapshot = {
     "context": m["context"],
     "bench_micro_model": m["benchmarks"],
     "bench_micro_search": s["benchmarks"],
     "bench_miner_e2e": e["benchmarks"],
+    # Warm vs from-scratch refit + incremental vs refactorize assimilation
+    # (the full summary view lives in BENCH_session.json via
+    # scripts/bench_session.sh).
+    "bench_session_refit": r["benchmarks"],
 }
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2)

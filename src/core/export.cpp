@@ -103,9 +103,14 @@ data::DataTable RankedListTable(const IterationResult& iteration,
 
 Status ExportHistoryCsv(const IterativeMiner& miner,
                         const std::string& path) {
+  return ExportHistoryCsv(miner.session(), path);
+}
+
+Status ExportHistoryCsv(const MiningSession& session,
+                        const std::string& path) {
   const data::DataTable table = IterationSummaryTable(
-      miner.history(), miner.dataset().descriptions,
-      miner.dataset().target_names);
+      session.history(), session.dataset().descriptions,
+      session.dataset().target_names);
   return data::WriteCsvFile(table, path);
 }
 

@@ -33,6 +33,10 @@ data::DataTable RankedListTable(const IterationResult& iteration,
 /// a CSV file.
 Status ExportHistoryCsv(const IterativeMiner& miner, const std::string& path);
 
+/// \brief Session overload of `ExportHistoryCsv`.
+Status ExportHistoryCsv(const MiningSession& session,
+                        const std::string& path);
+
 }  // namespace sisd::core
 
 #endif  // SISD_CORE_EXPORT_HPP_

@@ -1,174 +1,18 @@
 #include "core/miner.hpp"
 
-#include <cmath>
-
-#include "common/strings.hpp"
-#include "search/si_evaluator.hpp"
-
 namespace sisd::core {
-
-std::string ScoredLocationPattern::Describe(
-    const data::DataTable& table) const {
-  return StrFormat("%s (n=%zu, IC=%.2f, DL=%.2f, SI=%.2f)",
-                   pattern.subgroup.intention.ToString(table).c_str(),
-                   pattern.subgroup.Coverage(), score.ic, score.dl, score.si);
-}
-
-std::string ScoredSpreadPattern::Describe(const data::DataTable& table) const {
-  return StrFormat("%s along w=%s (var=%.4g, IC=%.2f, DL=%.2f, SI=%.2f)",
-                   pattern.subgroup.intention.ToString(table).c_str(),
-                   pattern.direction.ToString().c_str(), pattern.variance,
-                   score.ic, score.dl, score.si);
-}
 
 Result<IterativeMiner> IterativeMiner::Create(const data::Dataset& dataset,
                                               MinerConfig config) {
-  SISD_RETURN_NOT_OK(dataset.Validate());
-  if (dataset.num_rows() < 2) {
-    return Status::InvalidArgument("dataset needs at least two rows");
-  }
-
-  Result<model::BackgroundModel> model =
-      (config.prior_mean.has_value() && config.prior_covariance.has_value())
-          ? model::BackgroundModel::Create(dataset.num_rows(),
-                                           *config.prior_mean,
-                                           *config.prior_covariance)
-          : model::BackgroundModel::CreateFromData(dataset.targets,
-                                                   config.prior_ridge);
-  if (!model.ok()) return model.status();
-
-  search::ConditionPool pool = search::ConditionPool::Build(
-      dataset.descriptions, config.search.num_split_points);
-  model::PatternAssimilator assimilator(std::move(model).MoveValue());
-  return IterativeMiner(&dataset, std::move(config), std::move(pool),
-                        std::move(assimilator));
-}
-
-Result<IterationResult> IterativeMiner::MineNext() {
-  // One batch evaluator per iteration, bound to the current model snapshot:
-  // beam search scores candidate batches through it (in parallel when
-  // configured), and the final top-k is rescored through the same warmed
-  // contexts instead of re-running `si::ScoreLocation` from scratch.
-  search::SiLocationEvaluator evaluator(assimilator_.model(),
-                                        dataset_->targets, config_.dl);
-  search::SearchResult search_result = search::BeamSearch(
-      dataset_->descriptions, pool_, config_.search, evaluator);
-  if (search_result.top.empty()) {
-    return Status::NotFound(
-        "beam search found no subgroup satisfying the constraints");
-  }
-
-  IterationResult iteration;
-  iteration.candidates_evaluated = search_result.num_evaluated;
-  iteration.hit_time_budget = search_result.hit_time_budget;
-
-  for (const search::ScoredSubgroup& scored : search_result.top) {
-    pattern::Subgroup subgroup;
-    subgroup.intention = scored.intention;
-    subgroup.extension = scored.extension;
-    ScoredLocationPattern entry;
-    entry.pattern =
-        pattern::LocationPattern::Compute(std::move(subgroup),
-                                          dataset_->targets);
-    entry.score = evaluator.ScoreSubgroup(
-        entry.pattern.subgroup.extension, entry.pattern.mean,
-        entry.pattern.subgroup.intention.size());
-    iteration.ranked.push_back(std::move(entry));
-  }
-  iteration.location = iteration.ranked.front();
-
-  // Assimilate the location pattern (Theorem 1).
-  SISD_RETURN_NOT_OK(assimilator_.AddLocationPattern(
-      iteration.location.pattern.subgroup.extension,
-      iteration.location.pattern.mean));
-
-  if (config_.mix == PatternMix::kLocationAndSpread &&
-      dataset_->num_targets() >= 1) {
-    Result<ScoredSpreadPattern> spread =
-        FindSpreadPattern(iteration.location.pattern.subgroup);
-    if (!spread.ok()) return spread.status();
-    iteration.spread = spread.Value();
-    // Assimilate the spread pattern (Theorem 2).
-    SISD_RETURN_NOT_OK(assimilator_.AddSpreadPattern(
-        iteration.spread->pattern.subgroup.extension,
-        iteration.spread->pattern.direction,
-        iteration.location.pattern.mean, iteration.spread->pattern.variance));
-  }
-
-  history_.push_back(iteration);
-  return iteration;
-}
-
-Result<std::vector<IterationResult>> IterativeMiner::MineIterations(
-    int count) {
-  std::vector<IterationResult> results;
-  results.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    SISD_ASSIGN_OR_RETURN(iteration, MineNext());
-    results.push_back(std::move(iteration));
-  }
-  return results;
-}
-
-Result<ScoredLocationPattern> IterativeMiner::ScoreIntention(
-    const pattern::Intention& intention) const {
-  pattern::Subgroup subgroup =
-      pattern::Subgroup::FromIntention(dataset_->descriptions, intention);
-  if (subgroup.extension.empty()) {
-    return Status::InvalidArgument("intention matches no rows");
-  }
-  ScoredLocationPattern out;
-  out.pattern =
-      pattern::LocationPattern::Compute(std::move(subgroup),
-                                        dataset_->targets);
-  out.score = si::ScoreLocation(assimilator_.model(),
-                                out.pattern.subgroup.extension,
-                                out.pattern.mean,
-                                out.pattern.subgroup.intention.size(),
-                                config_.dl);
-  return out;
-}
-
-Result<ScoredSpreadPattern> IterativeMiner::ScoreSpreadForIntention(
-    const pattern::Intention& intention, const linalg::Vector& w) const {
-  pattern::Subgroup subgroup =
-      pattern::Subgroup::FromIntention(dataset_->descriptions, intention);
-  if (subgroup.extension.empty()) {
-    return Status::InvalidArgument("intention matches no rows");
-  }
-  ScoredSpreadPattern out;
-  out.pattern =
-      pattern::SpreadPattern::Compute(std::move(subgroup), dataset_->targets,
-                                      w);
-  out.score = si::ScoreSpread(assimilator_.model(),
-                              out.pattern.subgroup.extension,
-                              out.pattern.direction, out.pattern.variance,
-                              out.pattern.subgroup.intention.size(),
-                              config_.dl);
-  return out;
-}
-
-Result<ScoredSpreadPattern> IterativeMiner::FindSpreadPattern(
-    const pattern::Subgroup& subgroup) const {
-  if (subgroup.extension.empty()) {
-    return Status::InvalidArgument("subgroup has empty extension");
-  }
-  optimize::SpreadObjective objective(assimilator_.model(),
-                                      subgroup.extension, dataset_->targets);
-  optimize::SphereOptimum optimum;
-  if (config_.spread_sparsity == 2 && dataset_->num_targets() >= 2) {
-    optimum = optimize::MaximizePairSparse(objective, nullptr);
-  } else {
-    optimum = optimize::MaximizeOnSphere(objective, config_.spread_optimizer);
-  }
-
-  ScoredSpreadPattern out;
-  out.pattern = pattern::SpreadPattern::Compute(subgroup, dataset_->targets,
-                                                optimum.direction);
-  out.score = si::ScoreSpread(assimilator_.model(), subgroup.extension,
-                              out.pattern.direction, out.pattern.variance,
-                              subgroup.intention.size(), config_.dl);
-  return out;
+  // Non-owning handle: the caller guarantees `dataset` outlives the miner
+  // (see the lifetime contract in the header). The aliasing shared_ptr
+  // carries no control block side effects — its deleter is a no-op.
+  std::shared_ptr<const data::Dataset> borrowed(
+      std::shared_ptr<const data::Dataset>(), &dataset);
+  Result<MiningSession> session =
+      MiningSession::Create(std::move(borrowed), std::move(config));
+  if (!session.ok()) return session.status();
+  return IterativeMiner(std::move(session).MoveValue());
 }
 
 }  // namespace sisd::core

@@ -1,151 +1,109 @@
 /// \file miner.hpp
-/// \brief The public facade: iterative subjectively-interesting subgroup
-/// discovery on real-valued targets.
+/// \brief Legacy non-owning facade over `MiningSession` (core/session.hpp).
 ///
-/// One `IterativeMiner` owns a dataset, the evolving background model and
-/// the search machinery. Each call to `MineNext()` performs one iteration of
-/// the paper's loop:
-///   1. beam search for the location pattern maximizing SI (Eq. 14);
-///   2. assimilate the location pattern into the background model (Thm. 1);
-///   3. optionally find the most interesting spread direction for that
-///      subgroup (Eq. 21, sphere gradient ascent or 2-sparse pair sweep)
-///      and assimilate the spread pattern (Thm. 2);
-///   4. return everything found, leaving the model ready for the next
-///      iteration (non-redundancy falls out of the updated model).
+/// `IterativeMiner` predates the persistent-session architecture and keeps
+/// a *reference* to a caller-owned dataset. It remains for callers that
+/// manage dataset lifetime themselves (benches, examples); new code should
+/// use `MiningSession`, which owns its dataset and adds Save/Restore.
+///
+/// ### Lifetime contract (the reason this class is soft-deprecated)
+/// `Create(dataset, ...)` borrows `dataset`: the referenced object MUST
+/// outlive the miner and every copy/move of it. Destroying or moving the
+/// dataset while a miner points at it is undefined behaviour — the classic
+/// dangling-reference trap `MiningSession` exists to eliminate. In
+/// particular, never pass a temporary:
+/// \code
+///   // WRONG: the temporary Dataset dies at the end of the statement.
+///   auto miner = IterativeMiner::Create(MakeDataset(), config);
+///   // RIGHT: sessions take ownership.
+///   auto session = MiningSession::Create(MakeDataset(), config);
+/// \endcode
 
 #ifndef SISD_CORE_MINER_HPP_
 #define SISD_CORE_MINER_HPP_
 
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
-#include "data/table.hpp"
-#include "model/assimilator.hpp"
-#include "model/background_model.hpp"
-#include "optimize/sphere_optimizer.hpp"
-#include "pattern/patterns.hpp"
-#include "search/beam_search.hpp"
-#include "search/condition_pool.hpp"
-#include "si/interestingness.hpp"
+#include "core/session.hpp"
 
 namespace sisd::core {
 
-/// \brief Which pattern types an iteration should produce.
-enum class PatternMix {
-  kLocationOnly,       ///< location pattern per iteration (e.g. mammals §III-B)
-  kLocationAndSpread,  ///< location + spread per iteration (§III-A, C, D)
-};
-
-/// \brief Everything configurable about the miner. Defaults reproduce the
-/// paper's settings (§III: beam width 40, depth 4, 4 split points, top-150,
-/// gamma = 0.1, eta = 1).
-struct MinerConfig {
-  search::SearchConfig search;
-  si::DescriptionLengthParams dl;
-  PatternMix mix = PatternMix::kLocationAndSpread;
-  /// 0 = dense spread direction; 2 = the §III-C pair sweep (2-sparse w).
-  int spread_sparsity = 0;
-  optimize::SphereOptimizerConfig spread_optimizer;
-  /// Prior mean/covariance; empty -> empirical values (the paper's setup).
-  std::optional<linalg::Vector> prior_mean;
-  std::optional<linalg::Matrix> prior_covariance;
-  /// Ridge added to an empirical prior covariance (keeps it SPD).
-  double prior_ridge = 1e-8;
-};
-
-/// \brief A fully scored location pattern.
-struct ScoredLocationPattern {
-  pattern::LocationPattern pattern;
-  si::LocationScore score;
-
-  /// Renders e.g. "a3 = '1' (n=40, SI=48.35)".
-  std::string Describe(const data::DataTable& table) const;
-};
-
-/// \brief A fully scored spread pattern.
-struct ScoredSpreadPattern {
-  pattern::SpreadPattern pattern;
-  si::SpreadScore score;
-
-  std::string Describe(const data::DataTable& table) const;
-};
-
-/// \brief Output of one mining iteration.
-struct IterationResult {
-  ScoredLocationPattern location;
-  std::optional<ScoredSpreadPattern> spread;
-  /// The full ranked list from the beam search (top-k subgroups by SI),
-  /// useful for Table-I-style inspection.
-  std::vector<ScoredLocationPattern> ranked;
-  /// Search diagnostics.
-  size_t candidates_evaluated = 0;
-  bool hit_time_budget = false;
-};
-
-/// \brief Iterative subjectively-interesting subgroup miner.
+/// \brief Iterative subjectively-interesting subgroup miner over a
+/// borrowed dataset. Prefer `MiningSession` (owning, save/restorable).
 class IterativeMiner {
  public:
-  /// Builds a miner over `dataset` (kept by reference; must outlive the
-  /// miner). Fails when the dataset is inconsistent or the prior covariance
-  /// is not SPD.
+  /// Builds a miner over `dataset`, which is kept BY REFERENCE and must
+  /// outlive the miner (see the lifetime contract in the file comment).
+  /// Fails when the dataset is inconsistent or the prior covariance is not
+  /// SPD.
   static Result<IterativeMiner> Create(const data::Dataset& dataset,
                                        MinerConfig config);
 
   /// Runs one mining iteration and assimilates what it finds.
-  Result<IterationResult> MineNext();
+  Result<IterationResult> MineNext() { return session_.MineNext(); }
 
   /// Runs `count` iterations, stopping early on search failure.
-  Result<std::vector<IterationResult>> MineIterations(int count);
-
-  /// The current background model.
-  const model::BackgroundModel& model() const {
-    return assimilator_.model();
+  Result<std::vector<IterationResult>> MineIterations(int count) {
+    return session_.MineIterations(count);
   }
 
+  /// The current background model.
+  const model::BackgroundModel& model() const { return session_.model(); }
+
   /// The assimilator (constraint registry), e.g. for refit timing studies.
-  model::PatternAssimilator* mutable_assimilator() { return &assimilator_; }
+  model::PatternAssimilator* mutable_assimilator() {
+    return session_.mutable_assimilator();
+  }
 
   /// Scores an arbitrary intention as a location pattern under the *current*
   /// model (used to track SI of earlier patterns across iterations, as in
   /// Table I). Fails on empty extensions.
   Result<ScoredLocationPattern> ScoreIntention(
-      const pattern::Intention& intention) const;
+      const pattern::Intention& intention) const {
+    return session_.ScoreIntention(intention);
+  }
 
   /// Scores a spread pattern (direction `w`) for an arbitrary intention
   /// under the current model.
   Result<ScoredSpreadPattern> ScoreSpreadForIntention(
-      const pattern::Intention& intention, const linalg::Vector& w) const;
+      const pattern::Intention& intention, const linalg::Vector& w) const {
+    return session_.ScoreSpreadForIntention(intention, w);
+  }
 
   /// Finds the best spread direction for a given subgroup under the current
   /// model (without assimilating anything).
   Result<ScoredSpreadPattern> FindSpreadPattern(
-      const pattern::Subgroup& subgroup) const;
+      const pattern::Subgroup& subgroup) const {
+    return session_.FindSpreadPattern(subgroup);
+  }
 
-  /// The dataset being mined.
-  const data::Dataset& dataset() const { return *dataset_; }
+  /// The dataset being mined (the borrowed reference).
+  const data::Dataset& dataset() const { return session_.dataset(); }
 
   /// The condition pool (for diagnostics and ablation benches).
-  const search::ConditionPool& condition_pool() const { return pool_; }
+  const search::ConditionPool& condition_pool() const {
+    return session_.condition_pool();
+  }
 
   /// History of all iterations run so far.
-  const std::vector<IterationResult>& history() const { return history_; }
+  const std::vector<IterationResult>& history() const {
+    return session_.history();
+  }
+
+  /// The underlying session (owning adapter internals; exposed so callers
+  /// can e.g. `Save` a legacy miner's state — the snapshot embeds a copy of
+  /// the dataset, so restoring it yields a self-contained MiningSession).
+  const MiningSession& session() const { return session_; }
+  MiningSession* mutable_session() { return &session_; }
 
  private:
-  IterativeMiner(const data::Dataset* dataset, MinerConfig config,
-                 search::ConditionPool pool,
-                 model::PatternAssimilator assimilator)
-      : dataset_(dataset),
-        config_(std::move(config)),
-        pool_(std::move(pool)),
-        assimilator_(std::move(assimilator)) {}
+  explicit IterativeMiner(MiningSession session)
+      : session_(std::move(session)) {}
 
-  const data::Dataset* dataset_;
-  MinerConfig config_;
-  search::ConditionPool pool_;
-  model::PatternAssimilator assimilator_;
-  std::vector<IterationResult> history_;
+  MiningSession session_;
 };
 
 }  // namespace sisd::core

@@ -1,0 +1,266 @@
+#include "core/session.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "core/session_io.hpp"
+#include "search/si_evaluator.hpp"
+#include "serialize/snapshot.hpp"
+
+namespace sisd::core {
+
+using serialize::JsonValue;
+
+std::string ScoredLocationPattern::Describe(
+    const data::DataTable& table) const {
+  return StrFormat("%s (n=%zu, IC=%.2f, DL=%.2f, SI=%.2f)",
+                   pattern.subgroup.intention.ToString(table).c_str(),
+                   pattern.subgroup.Coverage(), score.ic, score.dl, score.si);
+}
+
+std::string ScoredSpreadPattern::Describe(const data::DataTable& table) const {
+  return StrFormat("%s along w=%s (var=%.4g, IC=%.2f, DL=%.2f, SI=%.2f)",
+                   pattern.subgroup.intention.ToString(table).c_str(),
+                   pattern.direction.ToString().c_str(), pattern.variance,
+                   score.ic, score.dl, score.si);
+}
+
+Result<MiningSession> MiningSession::Create(data::Dataset dataset,
+                                            MinerConfig config) {
+  return Create(std::make_shared<const data::Dataset>(std::move(dataset)),
+                std::move(config));
+}
+
+Result<MiningSession> MiningSession::Create(
+    std::shared_ptr<const data::Dataset> dataset, MinerConfig config) {
+  if (!dataset) {
+    return Status::InvalidArgument("session needs a non-null dataset");
+  }
+  SISD_RETURN_NOT_OK(dataset->Validate());
+  if (dataset->num_rows() < 2) {
+    return Status::InvalidArgument("dataset needs at least two rows");
+  }
+
+  Result<model::BackgroundModel> model =
+      (config.prior_mean.has_value() && config.prior_covariance.has_value())
+          ? model::BackgroundModel::Create(dataset->num_rows(),
+                                           *config.prior_mean,
+                                           *config.prior_covariance)
+          : model::BackgroundModel::CreateFromData(dataset->targets,
+                                                   config.prior_ridge);
+  if (!model.ok()) return model.status();
+
+  search::ConditionPool pool = search::ConditionPool::Build(
+      dataset->descriptions, config.search.num_split_points);
+  model::PatternAssimilator assimilator(std::move(model).MoveValue());
+  return MiningSession(std::move(dataset), std::move(config),
+                       std::move(pool), std::move(assimilator));
+}
+
+Result<IterationResult> MiningSession::MineNext() {
+  // One batch evaluator per iteration, bound to the current model snapshot:
+  // beam search scores candidate batches through it (in parallel when
+  // configured), and the final top-k is rescored through the same warmed
+  // contexts instead of re-running `si::ScoreLocation` from scratch.
+  search::SiLocationEvaluator evaluator(assimilator_.model(),
+                                        dataset_->targets, config_.dl);
+  search::SearchResult search_result = search::BeamSearch(
+      dataset_->descriptions, pool_, config_.search, evaluator);
+  if (search_result.top.empty()) {
+    return Status::NotFound(
+        "beam search found no subgroup satisfying the constraints");
+  }
+
+  IterationResult iteration;
+  iteration.candidates_evaluated = search_result.num_evaluated;
+  iteration.hit_time_budget = search_result.hit_time_budget;
+
+  for (const search::ScoredSubgroup& scored : search_result.top) {
+    pattern::Subgroup subgroup;
+    subgroup.intention = scored.intention;
+    subgroup.extension = scored.extension;
+    ScoredLocationPattern entry;
+    entry.pattern =
+        pattern::LocationPattern::Compute(std::move(subgroup),
+                                          dataset_->targets);
+    entry.score = evaluator.ScoreSubgroup(
+        entry.pattern.subgroup.extension, entry.pattern.mean,
+        entry.pattern.subgroup.intention.size());
+    iteration.ranked.push_back(std::move(entry));
+  }
+  iteration.location = iteration.ranked.front();
+
+  // Assimilate the location pattern (Theorem 1).
+  SISD_RETURN_NOT_OK(assimilator_.AddLocationPattern(
+      iteration.location.pattern.subgroup.extension,
+      iteration.location.pattern.mean));
+
+  if (config_.mix == PatternMix::kLocationAndSpread &&
+      dataset_->num_targets() >= 1) {
+    Result<ScoredSpreadPattern> spread =
+        FindSpreadPattern(iteration.location.pattern.subgroup);
+    if (!spread.ok()) return spread.status();
+    iteration.spread = spread.Value();
+    // Assimilate the spread pattern (Theorem 2).
+    SISD_RETURN_NOT_OK(assimilator_.AddSpreadPattern(
+        iteration.spread->pattern.subgroup.extension,
+        iteration.spread->pattern.direction,
+        iteration.location.pattern.mean, iteration.spread->pattern.variance));
+  }
+
+  history_.push_back(iteration);
+  return iteration;
+}
+
+Result<std::vector<IterationResult>> MiningSession::MineIterations(
+    int count) {
+  std::vector<IterationResult> results;
+  results.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SISD_ASSIGN_OR_RETURN(iteration, MineNext());
+    results.push_back(std::move(iteration));
+  }
+  return results;
+}
+
+Result<ScoredLocationPattern> MiningSession::ScoreIntention(
+    const pattern::Intention& intention) const {
+  pattern::Subgroup subgroup =
+      pattern::Subgroup::FromIntention(dataset_->descriptions, intention);
+  if (subgroup.extension.empty()) {
+    return Status::InvalidArgument("intention matches no rows");
+  }
+  ScoredLocationPattern out;
+  out.pattern =
+      pattern::LocationPattern::Compute(std::move(subgroup),
+                                        dataset_->targets);
+  out.score = si::ScoreLocation(assimilator_.model(),
+                                out.pattern.subgroup.extension,
+                                out.pattern.mean,
+                                out.pattern.subgroup.intention.size(),
+                                config_.dl);
+  return out;
+}
+
+Result<ScoredSpreadPattern> MiningSession::ScoreSpreadForIntention(
+    const pattern::Intention& intention, const linalg::Vector& w) const {
+  pattern::Subgroup subgroup =
+      pattern::Subgroup::FromIntention(dataset_->descriptions, intention);
+  if (subgroup.extension.empty()) {
+    return Status::InvalidArgument("intention matches no rows");
+  }
+  ScoredSpreadPattern out;
+  out.pattern =
+      pattern::SpreadPattern::Compute(std::move(subgroup), dataset_->targets,
+                                      w);
+  out.score = si::ScoreSpread(assimilator_.model(),
+                              out.pattern.subgroup.extension,
+                              out.pattern.direction, out.pattern.variance,
+                              out.pattern.subgroup.intention.size(),
+                              config_.dl);
+  return out;
+}
+
+Result<ScoredSpreadPattern> MiningSession::FindSpreadPattern(
+    const pattern::Subgroup& subgroup) const {
+  if (subgroup.extension.empty()) {
+    return Status::InvalidArgument("subgroup has empty extension");
+  }
+  optimize::SpreadObjective objective(assimilator_.model(),
+                                      subgroup.extension, dataset_->targets);
+  optimize::SphereOptimum optimum;
+  if (config_.spread_sparsity == 2 && dataset_->num_targets() >= 2) {
+    optimum = optimize::MaximizePairSparse(objective, nullptr);
+  } else {
+    optimum = optimize::MaximizeOnSphere(objective, config_.spread_optimizer);
+  }
+
+  ScoredSpreadPattern out;
+  out.pattern = pattern::SpreadPattern::Compute(subgroup, dataset_->targets,
+                                                optimum.direction);
+  out.score = si::ScoreSpread(assimilator_.model(), subgroup.extension,
+                              out.pattern.direction, out.pattern.variance,
+                              subgroup.intention.size(), config_.dl);
+  return out;
+}
+
+std::string MiningSession::SaveToString() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("format", JsonValue::Str(kSessionFormatTag));
+  out.Set("schema_version", JsonValue::Int(kSessionSchemaVersion));
+  out.Set("dataset", serialize::EncodeDataset(*dataset_));
+  out.Set("config", EncodeMinerConfig(config_));
+  out.Set("assimilator", serialize::EncodeAssimilator(assimilator_));
+  JsonValue history = JsonValue::Array();
+  for (const IterationResult& iteration : history_) {
+    history.Append(EncodeIterationResult(iteration));
+  }
+  out.Set("history", std::move(history));
+  return out.Write();
+}
+
+Status MiningSession::Save(const std::string& path) const {
+  return serialize::WriteTextFile(path, SaveToString());
+}
+
+Result<MiningSession> MiningSession::RestoreFromString(
+    const std::string& text) {
+  SISD_ASSIGN_OR_RETURN(root, JsonValue::Parse(text));
+  SISD_ASSIGN_OR_RETURN(format_json, root.Get("format"));
+  SISD_ASSIGN_OR_RETURN(format, format_json->GetString());
+  if (format != kSessionFormatTag) {
+    return Status::InvalidArgument("not a sisd session snapshot (format '" +
+                                   format + "')");
+  }
+  SISD_ASSIGN_OR_RETURN(version_json, root.Get("schema_version"));
+  SISD_ASSIGN_OR_RETURN(version, version_json->GetInt());
+  if (version != kSessionSchemaVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported session schema version %lld (expected %lld)",
+                  static_cast<long long>(version),
+                  static_cast<long long>(kSessionSchemaVersion)));
+  }
+
+  SISD_ASSIGN_OR_RETURN(dataset_json, root.Get("dataset"));
+  SISD_ASSIGN_OR_RETURN(dataset, serialize::DecodeDataset(*dataset_json));
+  SISD_ASSIGN_OR_RETURN(config_json, root.Get("config"));
+  SISD_ASSIGN_OR_RETURN(config, DecodeMinerConfig(*config_json));
+  SISD_ASSIGN_OR_RETURN(assimilator_json, root.Get("assimilator"));
+  SISD_ASSIGN_OR_RETURN(assimilator,
+                        serialize::DecodeAssimilator(*assimilator_json));
+  if (assimilator.model().num_rows() != dataset.num_rows() ||
+      assimilator.model().dim() != dataset.num_targets()) {
+    return Status::InvalidArgument(
+        "snapshot model shape disagrees with its dataset");
+  }
+
+  // Derived state is rebuilt, not stored: the condition pool is a pure
+  // function of (descriptions, num_split_points), and per-group
+  // factorization caches came back with the model (only caches that were
+  // cold at save time are recomputed lazily).
+  auto shared_dataset =
+      std::make_shared<const data::Dataset>(std::move(dataset));
+  search::ConditionPool pool = search::ConditionPool::Build(
+      shared_dataset->descriptions, config.search.num_split_points);
+  MiningSession session(std::move(shared_dataset), std::move(config),
+                        std::move(pool), std::move(assimilator));
+
+  SISD_ASSIGN_OR_RETURN(history_json, root.Get("history"));
+  if (!history_json->is_array()) {
+    return Status::InvalidArgument("session history must be an array");
+  }
+  session.history_.reserve(history_json->size());
+  for (const JsonValue& entry : history_json->items()) {
+    SISD_ASSIGN_OR_RETURN(iteration, DecodeIterationResult(entry));
+    session.history_.push_back(std::move(iteration));
+  }
+  return session;
+}
+
+Result<MiningSession> MiningSession::Restore(const std::string& path) {
+  SISD_ASSIGN_OR_RETURN(text, serialize::ReadTextFile(path));
+  return RestoreFromString(text);
+}
+
+}  // namespace sisd::core

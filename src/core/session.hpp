@@ -1,0 +1,199 @@
+/// \file session.hpp
+/// \brief Persistent mining sessions: the paper's analyst-in-the-loop
+/// dialogue (mine, show, assimilate, re-mine — §II-B, Table I) as a durable,
+/// resumable object.
+///
+/// A `MiningSession` owns its dataset (shared ownership, no lifetime traps),
+/// the evolving background model with its assimilated-constraint registry,
+/// and the full iteration history. `Save` serializes the complete session
+/// state to a versioned JSON snapshot; `Restore` rebuilds it so that the
+/// next `MineNext()` produces byte-identical output to a session that never
+/// stopped: model parameters, cached factorizations (maintained by rank-one
+/// updates, so their bits are state, not derivable), constraints and history
+/// all round-trip exactly.
+///
+/// `IterativeMiner` (core/miner.hpp) remains as a thin non-owning adapter
+/// over this class for callers that manage dataset lifetime themselves.
+
+#ifndef SISD_CORE_SESSION_HPP_
+#define SISD_CORE_SESSION_HPP_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/table.hpp"
+#include "model/assimilator.hpp"
+#include "model/background_model.hpp"
+#include "optimize/sphere_optimizer.hpp"
+#include "pattern/patterns.hpp"
+#include "search/beam_search.hpp"
+#include "search/condition_pool.hpp"
+#include "si/interestingness.hpp"
+
+namespace sisd::core {
+
+/// \brief Which pattern types an iteration should produce.
+enum class PatternMix {
+  kLocationOnly,       ///< location pattern per iteration (e.g. mammals §III-B)
+  kLocationAndSpread,  ///< location + spread per iteration (§III-A, C, D)
+};
+
+/// \brief Everything configurable about a mining session. Defaults
+/// reproduce the paper's settings (§III: beam width 40, depth 4, 4 split
+/// points, top-150, gamma = 0.1, eta = 1).
+struct MinerConfig {
+  search::SearchConfig search;
+  si::DescriptionLengthParams dl;
+  PatternMix mix = PatternMix::kLocationAndSpread;
+  /// 0 = dense spread direction; 2 = the §III-C pair sweep (2-sparse w).
+  int spread_sparsity = 0;
+  optimize::SphereOptimizerConfig spread_optimizer;
+  /// Prior mean/covariance; empty -> empirical values (the paper's setup).
+  std::optional<linalg::Vector> prior_mean;
+  std::optional<linalg::Matrix> prior_covariance;
+  /// Ridge added to an empirical prior covariance (keeps it SPD).
+  double prior_ridge = 1e-8;
+};
+
+/// \brief A fully scored location pattern.
+struct ScoredLocationPattern {
+  pattern::LocationPattern pattern;
+  si::LocationScore score;
+
+  /// Renders e.g. "a3 = '1' (n=40, SI=48.35)".
+  std::string Describe(const data::DataTable& table) const;
+};
+
+/// \brief A fully scored spread pattern.
+struct ScoredSpreadPattern {
+  pattern::SpreadPattern pattern;
+  si::SpreadScore score;
+
+  std::string Describe(const data::DataTable& table) const;
+};
+
+/// \brief Output of one mining iteration.
+struct IterationResult {
+  ScoredLocationPattern location;
+  std::optional<ScoredSpreadPattern> spread;
+  /// The full ranked list from the beam search (top-k subgroups by SI),
+  /// useful for Table-I-style inspection.
+  std::vector<ScoredLocationPattern> ranked;
+  /// Search diagnostics.
+  size_t candidates_evaluated = 0;
+  bool hit_time_budget = false;
+};
+
+/// \brief Snapshot schema version written by `Save`. Bumped only on
+/// incompatible layout changes; `Restore` rejects versions it does not
+/// know (see README "Session snapshots" for the policy).
+inline constexpr int64_t kSessionSchemaVersion = 1;
+
+/// \brief The `format` tag identifying session snapshot files.
+inline constexpr const char* kSessionFormatTag = "sisd-session";
+
+/// \brief A durable, resumable iterative mining session.
+class MiningSession {
+ public:
+  /// Builds a session taking ownership of `dataset` (moved in). Fails when
+  /// the dataset is inconsistent or the prior covariance is not SPD.
+  static Result<MiningSession> Create(data::Dataset dataset,
+                                      MinerConfig config);
+
+  /// Builds a session sharing ownership of `dataset` (must be non-null).
+  static Result<MiningSession> Create(
+      std::shared_ptr<const data::Dataset> dataset, MinerConfig config);
+
+  /// Runs one mining iteration and assimilates what it finds.
+  Result<IterationResult> MineNext();
+
+  /// Runs `count` iterations, stopping early on search failure.
+  Result<std::vector<IterationResult>> MineIterations(int count);
+
+  /// \name Persistence.
+  /// @{
+
+  /// Serializes the full session state (dataset, config, model + initial
+  /// model + constraints with cached factorizations, history) as versioned
+  /// JSON text. Deterministic: the same session always produces the same
+  /// bytes.
+  std::string SaveToString() const;
+
+  /// Writes `SaveToString()` to `path`.
+  Status Save(const std::string& path) const;
+
+  /// Rebuilds a session from snapshot text: validates format tag and schema
+  /// version, restores the dataset and model state bit-identically, and
+  /// rewarms the derived search structures (condition pool, per-group
+  /// factorization caches) that are rebuilt rather than stored.
+  static Result<MiningSession> RestoreFromString(const std::string& text);
+
+  /// Reads and restores a snapshot file.
+  static Result<MiningSession> Restore(const std::string& path);
+
+  /// @}
+
+  /// The current background model.
+  const model::BackgroundModel& model() const {
+    return assimilator_.model();
+  }
+
+  /// The assimilator (constraint registry), e.g. for refit timing studies.
+  model::PatternAssimilator* mutable_assimilator() { return &assimilator_; }
+
+  /// Scores an arbitrary intention as a location pattern under the *current*
+  /// model (used to track SI of earlier patterns across iterations, as in
+  /// Table I). Fails on empty extensions.
+  Result<ScoredLocationPattern> ScoreIntention(
+      const pattern::Intention& intention) const;
+
+  /// Scores a spread pattern (direction `w`) for an arbitrary intention
+  /// under the current model.
+  Result<ScoredSpreadPattern> ScoreSpreadForIntention(
+      const pattern::Intention& intention, const linalg::Vector& w) const;
+
+  /// Finds the best spread direction for a given subgroup under the current
+  /// model (without assimilating anything).
+  Result<ScoredSpreadPattern> FindSpreadPattern(
+      const pattern::Subgroup& subgroup) const;
+
+  /// The dataset being mined.
+  const data::Dataset& dataset() const { return *dataset_; }
+
+  /// Shared ownership handle to the dataset.
+  const std::shared_ptr<const data::Dataset>& shared_dataset() const {
+    return dataset_;
+  }
+
+  /// The session configuration.
+  const MinerConfig& config() const { return config_; }
+
+  /// The condition pool (for diagnostics and ablation benches).
+  const search::ConditionPool& condition_pool() const { return pool_; }
+
+  /// History of all iterations run so far (restored sessions carry the
+  /// full history of the saved session).
+  const std::vector<IterationResult>& history() const { return history_; }
+
+ private:
+  MiningSession(std::shared_ptr<const data::Dataset> dataset,
+                MinerConfig config, search::ConditionPool pool,
+                model::PatternAssimilator assimilator)
+      : dataset_(std::move(dataset)),
+        config_(std::move(config)),
+        pool_(std::move(pool)),
+        assimilator_(std::move(assimilator)) {}
+
+  std::shared_ptr<const data::Dataset> dataset_;
+  MinerConfig config_;
+  search::ConditionPool pool_;
+  model::PatternAssimilator assimilator_;
+  std::vector<IterationResult> history_;
+};
+
+}  // namespace sisd::core
+
+#endif  // SISD_CORE_SESSION_HPP_

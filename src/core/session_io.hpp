@@ -1,0 +1,40 @@
+/// \file session_io.hpp
+/// \brief JSON codecs for the core session types (MinerConfig, scored
+/// patterns, iteration results) — the top of the snapshot schema stack.
+///
+/// Exposed separately from MiningSession so tools (sisd_cli export) and
+/// tests can encode/decode session pieces without a live session. Same
+/// contract as serialize/snapshot.hpp: strict bit-exact round trips,
+/// Result-based validation.
+
+#ifndef SISD_CORE_SESSION_IO_HPP_
+#define SISD_CORE_SESSION_IO_HPP_
+
+#include "common/status.hpp"
+#include "core/session.hpp"
+#include "serialize/json.hpp"
+
+namespace sisd::core {
+
+/// \name Config codec.
+/// @{
+serialize::JsonValue EncodeMinerConfig(const MinerConfig& config);
+Result<MinerConfig> DecodeMinerConfig(const serialize::JsonValue& json);
+/// @}
+
+/// \name Scored pattern + iteration codecs.
+/// @{
+serialize::JsonValue EncodeScoredLocation(const ScoredLocationPattern& p);
+Result<ScoredLocationPattern> DecodeScoredLocation(
+    const serialize::JsonValue& json);
+serialize::JsonValue EncodeScoredSpread(const ScoredSpreadPattern& p);
+Result<ScoredSpreadPattern> DecodeScoredSpread(
+    const serialize::JsonValue& json);
+serialize::JsonValue EncodeIterationResult(const IterationResult& iteration);
+Result<IterationResult> DecodeIterationResult(
+    const serialize::JsonValue& json);
+/// @}
+
+}  // namespace sisd::core
+
+#endif  // SISD_CORE_SESSION_IO_HPP_

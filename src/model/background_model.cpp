@@ -56,6 +56,65 @@ Result<BackgroundModel> BackgroundModel::CreateFromData(
   return Create(y.rows(), std::move(mu), std::move(sigma));
 }
 
+Result<BackgroundModel> BackgroundModel::RestoreFromParts(
+    size_t num_rows, size_t dim, std::vector<ParameterGroup> groups,
+    std::vector<std::shared_ptr<const linalg::Cholesky>> factors) {
+  if (num_rows == 0 || dim == 0) {
+    return Status::InvalidArgument("restored model needs rows and dims");
+  }
+  if (groups.empty()) {
+    return Status::InvalidArgument("restored model needs parameter groups");
+  }
+  if (!factors.empty() && factors.size() != groups.size()) {
+    return Status::InvalidArgument(
+        "factor count must match group count (or be zero)");
+  }
+  std::vector<uint32_t> group_of_row(num_rows,
+                                     uint32_t(groups.size()));  // sentinel
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const ParameterGroup& group = groups[g];
+    if (group.mu.size() != dim || group.sigma.rows() != dim ||
+        group.sigma.cols() != dim) {
+      return Status::InvalidArgument(
+          StrFormat("group %zu parameter dimensions disagree with dy=%zu", g,
+                    dim));
+    }
+    if (group.rows.universe_size() != num_rows) {
+      return Status::InvalidArgument(
+          StrFormat("group %zu row universe disagrees with num_rows", g));
+    }
+    if (!factors.empty() && factors[g] && factors[g]->dim() != dim) {
+      return Status::InvalidArgument(
+          StrFormat("group %zu cached factor dimension mismatch", g));
+    }
+    bool overlap = false;
+    group.rows.ForEachRow([&](size_t row) {
+      if (group_of_row[row] != groups.size()) overlap = true;
+      group_of_row[row] = static_cast<uint32_t>(g);
+    });
+    if (overlap) {
+      return Status::InvalidArgument(
+          StrFormat("group %zu overlaps an earlier group's rows", g));
+    }
+  }
+  for (size_t row = 0; row < num_rows; ++row) {
+    if (group_of_row[row] == groups.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu belongs to no parameter group", row));
+    }
+  }
+  BackgroundModel model;
+  model.num_rows_ = num_rows;
+  model.dim_ = dim;
+  model.groups_ = std::move(groups);
+  model.group_of_row_ = std::move(group_of_row);
+  model.group_chol_.assign(model.groups_.size(), nullptr);
+  for (size_t g = 0; g < factors.size(); ++g) {
+    model.group_chol_[g] = std::move(factors[g]);
+  }
+  return model;
+}
+
 linalg::Vector BackgroundModel::NaturalTheta1(size_t row) const {
   const size_t g = GroupOf(row);
   return GroupCholesky(g).Solve(groups_[g].mu);
@@ -231,9 +290,10 @@ Result<double> BackgroundModel::UpdateSpread(
     // Eq. (10): mu += lambda * d * Sigma w / (1 + lambda s).
     group.mu.AddScaled(sigma_w, lambda * d / denom);
     // Eq. (11): Sigma -= lambda * (Sigma w)(Sigma w)' / (1 + lambda s).
-    group.sigma.AddOuter(sigma_w, -lambda / denom);
+    const double alpha = -lambda / denom;
+    group.sigma.AddOuter(sigma_w, alpha);
     group.sigma.Symmetrize();
-    InvalidateGroupCache(g);
+    RefreshGroupFactorRankOne(g, sigma_w, alpha);
   }
   return lambda;
 }
@@ -348,8 +408,20 @@ std::vector<size_t> BackgroundModel::SplitGroupsFor(
   return inside;
 }
 
-void BackgroundModel::InvalidateGroupCache(size_t g) {
-  group_chol_[g] = nullptr;
+void BackgroundModel::RefreshGroupFactorRankOne(size_t g,
+                                                const linalg::Vector& v,
+                                                double alpha) {
+  if (!group_chol_[g]) return;  // nothing cached: stays lazy
+  // Copy-on-write: split siblings share the factor pointer, and the old
+  // factor must not mutate under readers holding the shared_ptr.
+  auto updated = std::make_shared<linalg::Cholesky>(*group_chol_[g]);
+  if (updated->RankOne(v, alpha).ok()) {
+    group_chol_[g] = std::move(updated);
+  } else {
+    // Downdate lost positive definiteness numerically (Sigma itself stays
+    // SPD by Theorem 2): drop to the lazy full refactorization path.
+    group_chol_[g] = nullptr;
+  }
 }
 
 Result<double> SolveSpreadLambda(const std::vector<DirectionalTerm>& terms,

@@ -79,6 +79,15 @@ class BackgroundModel {
   static Result<BackgroundModel> CreateFromData(const linalg::Matrix& y,
                                                 double ridge = 1e-8);
 
+  /// Rebuilds a model from serialized parts (snapshot restore). The groups'
+  /// row sets must partition `[0, num_rows)`; `factors[g]` restores group
+  /// `g`'s cached Cholesky factor (nullptr = not cached, stays lazy) so a
+  /// restored model scores bit-identically to the live model it was saved
+  /// from. `factors` may be empty (no cached factors at all).
+  static Result<BackgroundModel> RestoreFromParts(
+      size_t num_rows, size_t dim, std::vector<ParameterGroup> groups,
+      std::vector<std::shared_ptr<const linalg::Cholesky>> factors);
+
   /// Number of rows modeled.
   size_t num_rows() const { return num_rows_; }
 
@@ -122,6 +131,17 @@ class BackgroundModel {
 
   /// Cached Cholesky factorization of group `g`'s covariance.
   const linalg::Cholesky& GroupCholesky(size_t g) const;
+
+  /// The cached factor of group `g` as currently held, or nullptr when none
+  /// is cached (never computes one). Spread assimilation maintains cached
+  /// factors by O(d^2) rank-one updates, so their low-order bits can differ
+  /// from a fresh factorization of `group(g).sigma` (within ~1e-10); the
+  /// snapshot serializer saves exactly this state to make save/restore
+  /// bit-transparent.
+  std::shared_ptr<const linalg::Cholesky> CachedGroupFactor(size_t g) const {
+    SISD_DCHECK(g < group_chol_.size());
+    return group_chol_[g];
+  }
 
   /// Cached log-determinant of group `g`'s covariance.
   double GroupLogDetSigma(size_t g) const;
@@ -210,8 +230,13 @@ class BackgroundModel {
   /// splitting groups as needed; returns ids of groups inside.
   std::vector<size_t> SplitGroupsFor(const pattern::Extension& extension);
 
-  /// Invalidates cached factorizations of group `g`.
-  void InvalidateGroupCache(size_t g);
+  /// Keeps group `g`'s cached factor in sync with the covariance
+  /// perturbation `Sigma += alpha * v v'` via an O(d^2) rank-one
+  /// update/downdate (copy-on-write: split siblings may share the factor).
+  /// No-op when nothing is cached; falls back to invalidation when the
+  /// downdate loses positive definiteness numerically.
+  void RefreshGroupFactorRankOne(size_t g, const linalg::Vector& v,
+                                 double alpha);
 
   size_t num_rows_ = 0;
   size_t dim_ = 0;

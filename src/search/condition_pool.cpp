@@ -1,13 +1,39 @@
 #include "search/condition_pool.hpp"
 
+#include <unordered_set>
+
 #include "stats/descriptive.hpp"
 
 namespace sisd::search {
+
+namespace {
+
+/// FNV-1a over an extension's packed blocks (the universe size is shared
+/// by every extension in one pool, so blocks determine identity).
+struct ExtensionHash {
+  size_t operator()(const pattern::Extension& ext) const {
+    size_t h = 1469598103934665603ull;
+    for (uint64_t block : ext.blocks()) {
+      h ^= size_t(block);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
 
 ConditionPool ConditionPool::Build(const data::DataTable& table,
                                    int num_splits) {
   ConditionPool pool;
   const size_t n = table.num_rows();
+  // Dedup by extension: quantile ties on low-cardinality numeric columns
+  // yield several thresholds selecting exactly the same rows, and every
+  // duplicate would be generated and scored at every beam level. The first
+  // condition with a given extension wins; later bit-identical ones are
+  // dropped (they cannot change any search outcome — candidate subgroups
+  // are determined by extensions, and the ranked list dedups intentions).
+  std::unordered_set<pattern::Extension, ExtensionHash> seen;
   for (size_t j = 0; j < table.num_columns(); ++j) {
     const data::Column& col = table.column(j);
     std::vector<pattern::Condition> candidates;
@@ -36,6 +62,7 @@ ConditionPool ConditionPool::Build(const data::DataTable& table,
     for (const pattern::Condition& c : candidates) {
       pattern::Extension ext = c.Evaluate(table);
       if (ext.count() == 0 || ext.count() == n) continue;  // vacuous
+      if (!seen.insert(ext).second) continue;  // bit-identical duplicate
       pool.conditions_.push_back(c);
       pool.extensions_.push_back(std::move(ext));
     }

@@ -23,7 +23,11 @@ class ConditionPool {
  public:
   /// Builds the pool for `table` with `num_splits` quantile split points per
   /// numeric attribute. Conditions that match no row or all rows are kept
-  /// out of the pool (they cannot change any extension).
+  /// out of the pool (they cannot change any extension), and conditions
+  /// whose extensions are bit-identical to an earlier condition's are
+  /// dropped (quantile ties on low-cardinality numeric columns would
+  /// otherwise add duplicate candidates scored at every beam level; the
+  /// first condition with a given extension wins).
   static ConditionPool Build(const data::DataTable& table, int num_splits = 4);
 
   /// Number of conditions in the pool.

@@ -1,0 +1,165 @@
+/// MiningSession: owning-dataset semantics, equivalence with the legacy
+/// IterativeMiner facade, and snapshot save/restore mechanics.
+
+#include "core/session.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.hpp"
+#include "datagen/synthetic.hpp"
+
+namespace sisd::core {
+namespace {
+
+MinerConfig FastConfig() {
+  MinerConfig config;
+  config.search.beam_width = 10;
+  config.search.max_depth = 2;
+  config.search.top_k = 20;
+  config.search.min_coverage = 5;
+  config.spread_optimizer.num_random_starts = 2;
+  return config;
+}
+
+TEST(MiningSessionTest, OwnsItsDataset) {
+  // The dataset handed to Create is moved into the session: no external
+  // object needs to stay alive (the IterativeMiner lifetime trap is gone).
+  Result<MiningSession> session = MiningSession::Create(
+      datagen::MakeSyntheticEmbedded().dataset, FastConfig());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Result<IterationResult> iteration = session.Value().MineNext();
+  ASSERT_TRUE(iteration.ok()) << iteration.status().ToString();
+  EXPECT_EQ(iteration.Value().location.pattern.subgroup.Coverage(), 40u);
+  EXPECT_EQ(session.Value().history().size(), 1u);
+}
+
+TEST(MiningSessionTest, SharedDatasetCreateValidates) {
+  EXPECT_FALSE(MiningSession::Create(
+                   std::shared_ptr<const data::Dataset>(), FastConfig())
+                   .ok());
+  auto dataset = std::make_shared<const data::Dataset>(
+      datagen::MakeSyntheticEmbedded().dataset);
+  Result<MiningSession> session =
+      MiningSession::Create(dataset, FastConfig());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.Value().shared_dataset().get(), dataset.get());
+}
+
+TEST(MiningSessionTest, MatchesLegacyMinerBitForBit) {
+  const datagen::SyntheticData data = datagen::MakeSyntheticEmbedded();
+  Result<MiningSession> session =
+      MiningSession::Create(data.dataset, FastConfig());
+  ASSERT_TRUE(session.ok());
+  Result<IterativeMiner> miner =
+      IterativeMiner::Create(data.dataset, FastConfig());
+  ASSERT_TRUE(miner.ok());
+
+  for (int i = 0; i < 2; ++i) {
+    Result<IterationResult> from_session = session.Value().MineNext();
+    Result<IterationResult> from_miner = miner.Value().MineNext();
+    ASSERT_TRUE(from_session.ok());
+    ASSERT_TRUE(from_miner.ok());
+    EXPECT_EQ(
+        from_session.Value().location.Describe(data.dataset.descriptions),
+        from_miner.Value().location.Describe(data.dataset.descriptions));
+    ASSERT_EQ(from_session.Value().spread.has_value(),
+              from_miner.Value().spread.has_value());
+    EXPECT_EQ(from_session.Value().spread->Describe(
+                  data.dataset.descriptions),
+              from_miner.Value().spread->Describe(
+                  data.dataset.descriptions));
+    EXPECT_EQ(from_session.Value().candidates_evaluated,
+              from_miner.Value().candidates_evaluated);
+  }
+}
+
+TEST(MiningSessionTest, SnapshotTextRoundTripIsByteIdentical) {
+  Result<MiningSession> session = MiningSession::Create(
+      datagen::MakeSyntheticEmbedded().dataset, FastConfig());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.Value().MineNext().ok());
+
+  const std::string saved = session.Value().SaveToString();
+  Result<MiningSession> restored = MiningSession::RestoreFromString(saved);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // Re-saving the restored session reproduces the exact snapshot bytes.
+  EXPECT_EQ(restored.Value().SaveToString(), saved);
+  // Restored session state mirrors the original.
+  EXPECT_EQ(restored.Value().history().size(), 1u);
+  EXPECT_EQ(restored.Value().model().num_groups(),
+            session.Value().model().num_groups());
+  EXPECT_EQ(restored.Value().mutable_assimilator()->num_constraints(),
+            session.Value().mutable_assimilator()->num_constraints());
+  EXPECT_EQ(restored.Value().condition_pool().size(),
+            session.Value().condition_pool().size());
+}
+
+TEST(MiningSessionTest, SaveRestoreFileRoundTrip) {
+  const std::string path = "/tmp/sisd_session_test_snapshot.json";
+  Result<MiningSession> session = MiningSession::Create(
+      datagen::MakeSyntheticEmbedded().dataset, FastConfig());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.Value().MineNext().ok());
+  ASSERT_TRUE(session.Value().Save(path).ok());
+
+  Result<MiningSession> restored = MiningSession::Restore(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.Value().SaveToString(), session.Value().SaveToString());
+  std::remove(path.c_str());
+  EXPECT_FALSE(MiningSession::Restore(path).ok());
+}
+
+TEST(MiningSessionTest, RestoreRejectsForeignAndFutureSnapshots) {
+  EXPECT_FALSE(MiningSession::RestoreFromString("not json").ok());
+  EXPECT_FALSE(MiningSession::RestoreFromString("{}").ok());
+  EXPECT_FALSE(MiningSession::RestoreFromString(
+                   "{\"format\":\"something-else\",\"schema_version\":1}")
+                   .ok());
+  // A future schema version is rejected loudly, not half-parsed.
+  Result<MiningSession> session = MiningSession::Create(
+      datagen::MakeSyntheticEmbedded().dataset, FastConfig());
+  ASSERT_TRUE(session.ok());
+  std::string text = session.Value().SaveToString();
+  const std::string tag = "\"schema_version\":1";
+  const size_t pos = text.find(tag);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, tag.size(), "\"schema_version\":999");
+  Result<MiningSession> future = MiningSession::RestoreFromString(text);
+  EXPECT_FALSE(future.ok());
+  EXPECT_NE(future.status().message().find("schema version"),
+            std::string::npos);
+}
+
+TEST(MiningSessionTest, ConfigRoundTripsThroughSnapshots) {
+  MinerConfig config = FastConfig();
+  config.mix = PatternMix::kLocationOnly;
+  config.spread_sparsity = 2;
+  config.dl.gamma = 0.25;
+  config.search.time_budget_seconds =
+      std::numeric_limits<double>::infinity();  // nonfinite must survive
+  config.prior_mean = linalg::Vector{0.1, -0.2};
+  config.prior_covariance = linalg::Matrix{{2.0, 0.3}, {0.3, 1.5}};
+
+  Result<MiningSession> session = MiningSession::Create(
+      datagen::MakeSyntheticEmbedded().dataset, config);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  Result<MiningSession> restored =
+      MiningSession::RestoreFromString(session.Value().SaveToString());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const MinerConfig& back = restored.Value().config();
+  EXPECT_EQ(back.mix, PatternMix::kLocationOnly);
+  EXPECT_EQ(back.spread_sparsity, 2);
+  EXPECT_EQ(back.dl.gamma, 0.25);
+  EXPECT_TRUE(std::isinf(back.search.time_budget_seconds));
+  ASSERT_TRUE(back.prior_mean.has_value());
+  EXPECT_EQ(*back.prior_mean, *config.prior_mean);
+  ASSERT_TRUE(back.prior_covariance.has_value());
+  EXPECT_EQ(*back.prior_covariance, *config.prior_covariance);
+}
+
+}  // namespace
+}  // namespace sisd::core

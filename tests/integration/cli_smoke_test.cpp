@@ -1,0 +1,116 @@
+// End-to-end coverage of the sisd_cli binary: mine -> resume continues
+// byte-identically (snapshot files compared as bytes), export produces the
+// CSV artifacts, and misuse exits nonzero with usage help. The binary path
+// is injected by CMake via SISD_CLI_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef SISD_CLI_BIN
+#error "SISD_CLI_BIN must be defined by the build system"
+#endif
+
+namespace {
+
+const char kWorkDir[] = "/tmp/sisd_cli_smoke_test";
+
+int RunCli(const std::string& args) {
+  const std::string command =
+      std::string(SISD_CLI_BIN) + " " + args + " > /dev/null 2>&1";
+  const int rc = std::system(command.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string Path(const char* name) {
+  return std::string(kWorkDir) + "/" + name;
+}
+
+class CliSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::system((std::string("rm -rf ") + kWorkDir).c_str());
+    ASSERT_EQ(std::system((std::string("mkdir -p ") + kWorkDir).c_str()), 0);
+  }
+};
+
+const char kFastFlags[] =
+    " --beam-width 8 --max-depth 2 --top-k 20 --min-coverage 5";
+
+TEST_F(CliSmokeTest, MineResumeMatchesUnbrokenRun) {
+  ASSERT_EQ(RunCli("mine --scenario synthetic --iterations 2" +
+                   std::string(kFastFlags) + " --session-save " +
+                   Path("two.json")),
+            0);
+  ASSERT_EQ(RunCli("resume --session " + Path("two.json") +
+                   " --iterations 1 --session-save " + Path("resumed.json")),
+            0);
+  ASSERT_EQ(RunCli("mine --scenario synthetic --iterations 3" +
+                   std::string(kFastFlags) + " --session-save " +
+                   Path("unbroken.json")),
+            0);
+  const std::string resumed = ReadFile(Path("resumed.json"));
+  ASSERT_FALSE(resumed.empty());
+  EXPECT_EQ(resumed, ReadFile(Path("unbroken.json")))
+      << "resumed session diverged from the unbroken run";
+}
+
+TEST_F(CliSmokeTest, ExportWritesArtifacts) {
+  ASSERT_EQ(RunCli("mine --scenario gse --iterations 1 --spread-sparsity 2" +
+                   std::string(kFastFlags) + " --session-save " +
+                   Path("gse.json")),
+            0);
+  ASSERT_EQ(RunCli("export --session " + Path("gse.json") + " --history " +
+                   Path("history.csv") + " --ranked " + Path("ranked.csv") +
+                   " --json " + Path("pretty.json")),
+            0);
+  const std::string history = ReadFile(Path("history.csv"));
+  EXPECT_NE(history.find("iteration,intention"), std::string::npos);
+  const std::string ranked = ReadFile(Path("ranked.csv"));
+  EXPECT_NE(ranked.find("rank,intention"), std::string::npos);
+  const std::string pretty = ReadFile(Path("pretty.json"));
+  EXPECT_NE(pretty.find("\"format\": \"sisd-session\""), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, MinesUserCsv) {
+  {
+    std::ofstream csv(Path("data.csv"));
+    csv << "group,noise,t\n";
+    for (int i = 0; i < 120; ++i) {
+      const bool hot = i % 3 == 0;
+      csv << (hot ? "a" : "b") << "," << (i % 7) << ","
+          << (hot ? 5.0 : 0.0) + 0.01 * double(i % 11) << "\n";
+    }
+  }
+  ASSERT_EQ(RunCli("mine --csv " + Path("data.csv") +
+                   " --targets t --location-only --min-coverage 10"
+                   " --session-save " +
+                   Path("csv.json")),
+            0);
+  EXPECT_EQ(RunCli("resume --session " + Path("csv.json")), 0);
+}
+
+TEST_F(CliSmokeTest, MisuseFailsLoudly) {
+  EXPECT_EQ(RunCli("help"), 0);
+  EXPECT_NE(RunCli(""), 0);
+  EXPECT_NE(RunCli("frobnicate"), 0);
+  EXPECT_NE(RunCli("mine"), 0);                       // no input source
+  EXPECT_NE(RunCli("mine --scenario nope"), 0);       // unknown scenario
+  EXPECT_NE(RunCli("mine --csv " + Path("missing.csv") + " --targets t"), 0);
+  EXPECT_NE(RunCli("resume --session " + Path("missing.json")), 0);
+  EXPECT_NE(RunCli("export --session " + Path("missing.json")), 0);
+  EXPECT_NE(RunCli("mine --scenario synthetic --beam-width zero"), 0);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+/// Rank-one Cholesky update/downdate: the O(d^2) factor-maintenance kernels
+/// behind incremental pattern assimilation, plus the FromFactor restore path.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "random/rng.hpp"
+
+namespace sisd::linalg {
+namespace {
+
+Matrix RandomSpd(random::Rng* rng, size_t n, double ridge = 0.5) {
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng->Gaussian();
+  }
+  Matrix spd = a.MatMul(a.Transposed());
+  for (size_t i = 0; i < n; ++i) spd(i, i) += ridge * double(n);
+  return spd;
+}
+
+Vector RandomVector(random::Rng* rng, size_t n) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng->Gaussian();
+  return v;
+}
+
+/// Reconstructs L L' from a factor.
+Matrix Reassemble(const Cholesky& chol) {
+  return chol.L().MatMul(chol.L().Transposed());
+}
+
+TEST(CholeskyUpdateTest, UpdateMatchesRecomputation) {
+  random::Rng rng(99);
+  for (size_t n : {1u, 2u, 5u, 17u}) {
+    const Matrix a = RandomSpd(&rng, n);
+    const Vector x = RandomVector(&rng, n);
+    Result<Cholesky> chol = Cholesky::Compute(a);
+    ASSERT_TRUE(chol.ok());
+    chol.Value().RankOneUpdate(x);
+
+    Matrix updated = a;
+    updated.AddOuter(x, 1.0);
+    Result<Cholesky> fresh = Cholesky::Compute(updated);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_LT(MaxAbsDiff(chol.Value().L(), fresh.Value().L()), 1e-10)
+        << "dim " << n;
+  }
+}
+
+TEST(CholeskyUpdateTest, DowndateMatchesRecomputation) {
+  random::Rng rng(100);
+  for (size_t n : {1u, 3u, 8u, 17u}) {
+    const Matrix a = RandomSpd(&rng, n);
+    // Downdating by something we first added keeps the result SPD for sure.
+    Vector x = RandomVector(&rng, n);
+    Matrix bigger = a;
+    bigger.AddOuter(x, 1.0);
+    Result<Cholesky> chol = Cholesky::Compute(bigger);
+    ASSERT_TRUE(chol.ok());
+    ASSERT_TRUE(chol.Value().RankOneDowndate(x).ok());
+
+    Result<Cholesky> fresh = Cholesky::Compute(a);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_LT(MaxAbsDiff(chol.Value().L(), fresh.Value().L()), 1e-9)
+        << "dim " << n;
+  }
+}
+
+TEST(CholeskyUpdateTest, RankOneDispatchesOnSign) {
+  random::Rng rng(7);
+  const size_t n = 6;
+  const Matrix a = RandomSpd(&rng, n);
+  const Vector v = RandomVector(&rng, n);
+  for (double alpha : {0.0, 0.35, -0.2}) {
+    Result<Cholesky> chol = Cholesky::Compute(a);
+    ASSERT_TRUE(chol.ok());
+    ASSERT_TRUE(chol.Value().RankOne(v, alpha).ok()) << "alpha " << alpha;
+    Matrix expected = a;
+    expected.AddOuter(v, alpha);
+    EXPECT_LT(MaxAbsDiff(Reassemble(chol.Value()), expected), 1e-10)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(CholeskyUpdateTest, DowndateDetectsLossOfPositiveDefiniteness) {
+  // I - 2 e1 e1' is indefinite: the downdate must fail, not return garbage.
+  Result<Cholesky> chol = Cholesky::Compute(Matrix::Identity(3));
+  ASSERT_TRUE(chol.ok());
+  Vector x{std::sqrt(2.0), 0.0, 0.0};
+  const Status status = chol.Value().RankOneDowndate(x);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyUpdateTest, SolvesStayConsistentAfterManyUpdates) {
+  // A long alternating update/downdate chain must keep Solve() accurate —
+  // the incremental-assimilation scenario where one factor is maintained
+  // across a whole session.
+  random::Rng rng(3);
+  const size_t n = 10;
+  Matrix a = RandomSpd(&rng, n);
+  Result<Cholesky> chol = Cholesky::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  for (int round = 0; round < 50; ++round) {
+    Vector v = RandomVector(&rng, n);
+    const double alpha = (round % 2 == 0) ? 0.3 : -0.25;
+    a.AddOuter(v, alpha);
+    ASSERT_TRUE(chol.Value().RankOne(v, alpha).ok()) << "round " << round;
+  }
+  const Vector b = RandomVector(&rng, n);
+  const Vector via_updates = chol.Value().Solve(b);
+  const Vector via_scratch = SpdSolve(a, b);
+  EXPECT_LT(MaxAbsDiff(via_updates, via_scratch), 1e-8);
+}
+
+TEST(CholeskyFromFactorTest, RoundTripsComputedFactor) {
+  random::Rng rng(11);
+  const Matrix a = RandomSpd(&rng, 5);
+  Result<Cholesky> chol = Cholesky::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Result<Cholesky> restored = Cholesky::FromFactor(chol.Value().L());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.Value().L(), chol.Value().L());
+  const Vector b = RandomVector(&rng, 5);
+  EXPECT_EQ(restored.Value().Solve(b), chol.Value().Solve(b));
+}
+
+TEST(CholeskyFromFactorTest, RejectsBadFactors) {
+  EXPECT_FALSE(Cholesky::FromFactor(Matrix(2, 3)).ok());
+  Matrix nonpositive{{1.0, 0.0}, {0.5, 0.0}};
+  EXPECT_FALSE(Cholesky::FromFactor(nonpositive).ok());
+  Matrix nan_diag{{1.0, 0.0}, {0.5, std::nan("")}};
+  EXPECT_FALSE(Cholesky::FromFactor(nan_diag).ok());
+  // Non-finite entries BELOW the diagonal would silently poison every
+  // solve; they must be rejected too (above-diagonal junk is zeroed).
+  Matrix nan_below{{1.0, 0.0}, {std::nan(""), 1.5}};
+  EXPECT_FALSE(Cholesky::FromFactor(nan_below).ok());
+  Matrix inf_below{{1.0, 0.0},
+                   {std::numeric_limits<double>::infinity(), 1.5}};
+  EXPECT_FALSE(Cholesky::FromFactor(inf_below).ok());
+}
+
+TEST(CholeskyFromFactorTest, ZeroesEntriesAboveDiagonal) {
+  Matrix l{{2.0, 99.0}, {1.0, 1.5}};
+  Result<Cholesky> restored = Cholesky::FromFactor(l);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.Value().L()(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace sisd::linalg

@@ -1,0 +1,218 @@
+/// Incremental (rank-one) maintenance of the cached group factorizations:
+/// spread assimilation must keep warm factors usable — within documented
+/// 1e-10 agreement of a fresh factorization — instead of invalidating them,
+/// and warm-started refits must agree with RefitFromScratch.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "model/assimilator.hpp"
+#include "model/background_model.hpp"
+#include "random/rng.hpp"
+
+namespace sisd::model {
+namespace {
+
+/// Documented agreement tolerance between an incrementally maintained
+/// factor and a from-scratch factorization of the same covariance.
+constexpr double kFactorTolerance = 1e-10;
+
+linalg::Matrix RandomTargets(random::Rng* rng, size_t n, size_t dy) {
+  linalg::Matrix y(n, dy);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dy; ++j) y(i, j) = rng->Gaussian();
+  }
+  return y;
+}
+
+pattern::Extension RangeExtension(size_t n, size_t begin, size_t end) {
+  pattern::Extension ext(n);
+  for (size_t i = begin; i < end; ++i) ext.Insert(i);
+  return ext;
+}
+
+linalg::Vector UnitDirection(random::Rng* rng, size_t dy) {
+  linalg::Vector w(dy);
+  for (size_t j = 0; j < dy; ++j) w[j] = rng->Gaussian();
+  return w.Normalized();
+}
+
+TEST(IncrementalFactorTest, SpreadUpdateKeepsWarmFactorsWithinTolerance) {
+  random::Rng rng(17);
+  const size_t n = 80, dy = 6;
+  Result<BackgroundModel> model =
+      BackgroundModel::CreateFromData(RandomTargets(&rng, n, dy));
+  ASSERT_TRUE(model.ok());
+  model.Value().WarmGroupCaches();
+
+  // Several overlapping spread updates, shrinking and growing the variance:
+  // both the downdate (lambda > 0) and update (lambda < 0) paths run.
+  const struct {
+    size_t begin, end;
+    double variance_scale;
+  } rounds[] = {{0, 30, 0.5}, {20, 60, 1.8}, {10, 45, 0.7}, {0, 80, 1.2}};
+  for (const auto& round : rounds) {
+    const pattern::Extension ext = RangeExtension(n, round.begin, round.end);
+    const linalg::Vector w = UnitDirection(&rng, dy);
+    const linalg::Vector anchor =
+        model.Value().ExpectedSubgroupMean(ext);
+    const double expected =
+        model.Value().ExpectedDirectionalVariance(ext, w, anchor);
+    Result<double> lambda = model.Value().UpdateSpread(
+        ext, w, anchor, round.variance_scale * expected);
+    ASSERT_TRUE(lambda.ok()) << lambda.status().ToString();
+  }
+
+  for (size_t g = 0; g < model.Value().num_groups(); ++g) {
+    // The incremental path must have preserved the warm factors (a split
+    // copies the parent's factor, an update adjusts it in O(d^2)).
+    ASSERT_NE(model.Value().CachedGroupFactor(g), nullptr) << "group " << g;
+    Result<linalg::Cholesky> fresh =
+        linalg::Cholesky::Compute(model.Value().group(g).sigma);
+    ASSERT_TRUE(fresh.ok()) << "group " << g;
+    EXPECT_LT(linalg::MaxAbsDiff(model.Value().GroupCholesky(g).L(),
+                                 fresh.Value().L()),
+              kFactorTolerance)
+        << "group " << g;
+  }
+}
+
+TEST(IncrementalFactorTest, ColdFactorsStayLazy) {
+  random::Rng rng(21);
+  const size_t n = 40, dy = 4;
+  Result<BackgroundModel> model =
+      BackgroundModel::CreateFromData(RandomTargets(&rng, n, dy));
+  ASSERT_TRUE(model.ok());
+  // Only group 0's factor is warm (from Create); split it via a spread
+  // update, then drop the warm copies by a second update after clearing:
+  const pattern::Extension ext = RangeExtension(n, 0, 15);
+  const linalg::Vector w = UnitDirection(&rng, dy);
+  const linalg::Vector anchor = model.Value().ExpectedSubgroupMean(ext);
+  const double expected =
+      model.Value().ExpectedDirectionalVariance(ext, w, anchor);
+  ASSERT_TRUE(model.Value().UpdateSpread(ext, w, anchor, 0.6 * expected).ok());
+  // Both split halves carry (updated or original) warm factors...
+  EXPECT_NE(model.Value().CachedGroupFactor(0), nullptr);
+  // ...and scoring through them matches fresh factorizations.
+  for (size_t g = 0; g < model.Value().num_groups(); ++g) {
+    Result<linalg::Cholesky> fresh =
+        linalg::Cholesky::Compute(model.Value().group(g).sigma);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_LT(std::fabs(model.Value().GroupLogDetSigma(g) -
+                        fresh.Value().LogDeterminant()),
+              1e-9);
+  }
+}
+
+TEST(IncrementalFactorTest, WarmRefitAgreesWithRefitFromScratch) {
+  random::Rng rng(5);
+  const size_t n = 60, dy = 4;
+  Result<BackgroundModel> model =
+      BackgroundModel::CreateFromData(RandomTargets(&rng, n, dy));
+  ASSERT_TRUE(model.ok());
+  PatternAssimilator warm(std::move(model).MoveValue());
+
+  // Overlapping location + spread constraints so cyclic descent has real
+  // work to do on a refit.
+  const pattern::Extension a = RangeExtension(n, 0, 25);
+  const pattern::Extension b = RangeExtension(n, 15, 50);
+  linalg::Vector mean_a(dy, 0.4);
+  linalg::Vector mean_b(dy, -0.3);
+  ASSERT_TRUE(warm.AddLocationPattern(a, mean_a).ok());
+  ASSERT_TRUE(warm.AddSpreadPattern(b, UnitDirection(&rng, dy), mean_b, 0.5)
+                  .ok());
+  ASSERT_TRUE(warm.AddLocationPattern(b, mean_b).ok());
+
+  PatternAssimilator scratch = warm;
+  Result<RefitStats> warm_stats = warm.Refit(200, 1e-12);
+  ASSERT_TRUE(warm_stats.ok());
+  EXPECT_TRUE(warm_stats.Value().converged);
+  Result<RefitStats> scratch_stats = scratch.RefitFromScratch(200, 1e-12);
+  ASSERT_TRUE(scratch_stats.ok());
+  EXPECT_TRUE(scratch_stats.Value().converged);
+
+  // Warm start must land on the same joint minimum-KL model, in (usually
+  // strictly) fewer sweeps.
+  EXPECT_LT(warm.model().MaxParameterDelta(scratch.model()), 1e-8);
+  EXPECT_LE(warm_stats.Value().sweeps, scratch_stats.Value().sweeps);
+  EXPECT_LT(warm.MaxConstraintViolation(), 1e-8);
+}
+
+TEST(IncrementalFactorTest, RestoreFromPartsRoundTripsModelState) {
+  random::Rng rng(29);
+  const size_t n = 50, dy = 3;
+  Result<BackgroundModel> model =
+      BackgroundModel::CreateFromData(RandomTargets(&rng, n, dy));
+  ASSERT_TRUE(model.ok());
+  model.Value().WarmGroupCaches();
+  const pattern::Extension ext = RangeExtension(n, 5, 30);
+  const linalg::Vector w = UnitDirection(&rng, dy);
+  const linalg::Vector anchor = model.Value().ExpectedSubgroupMean(ext);
+  ASSERT_TRUE(model.Value()
+                  .UpdateSpread(ext, w, anchor,
+                                0.7 * model.Value().ExpectedDirectionalVariance(
+                                          ext, w, anchor))
+                  .ok());
+
+  std::vector<ParameterGroup> groups;
+  std::vector<std::shared_ptr<const linalg::Cholesky>> factors;
+  for (size_t g = 0; g < model.Value().num_groups(); ++g) {
+    groups.push_back(model.Value().group(g));
+    factors.push_back(model.Value().CachedGroupFactor(g));
+  }
+  Result<BackgroundModel> restored = BackgroundModel::RestoreFromParts(
+      n, dy, std::move(groups), std::move(factors));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored.Value().num_groups(), model.Value().num_groups());
+  for (size_t g = 0; g < model.Value().num_groups(); ++g) {
+    EXPECT_EQ(restored.Value().group(g).mu, model.Value().group(g).mu);
+    EXPECT_EQ(restored.Value().group(g).sigma, model.Value().group(g).sigma);
+    EXPECT_EQ(restored.Value().group(g).rows, model.Value().group(g).rows);
+    // Bit-identical cached factors (shared pointers in this in-memory
+    // round trip; the serializer copies values with the same guarantee).
+    EXPECT_EQ(restored.Value().GroupCholesky(g).L(),
+              model.Value().GroupCholesky(g).L());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(restored.Value().GroupOf(i), model.Value().GroupOf(i));
+  }
+}
+
+TEST(IncrementalFactorTest, RestoreFromPartsValidates) {
+  random::Rng rng(31);
+  Result<BackgroundModel> model =
+      BackgroundModel::CreateFromData(RandomTargets(&rng, 10, 2));
+  ASSERT_TRUE(model.ok());
+  std::vector<ParameterGroup> groups = {model.Value().group(0)};
+
+  // Rows not covering the universe.
+  ParameterGroup partial = groups[0];
+  partial.rows.Erase(3);
+  EXPECT_FALSE(
+      BackgroundModel::RestoreFromParts(10, 2, {partial}, {}).ok());
+
+  // Overlapping groups.
+  EXPECT_FALSE(
+      BackgroundModel::RestoreFromParts(10, 2, {groups[0], groups[0]}, {})
+          .ok());
+
+  // Dimension mismatch.
+  ParameterGroup bad_mu = groups[0];
+  bad_mu.mu = linalg::Vector(3);
+  EXPECT_FALSE(BackgroundModel::RestoreFromParts(10, 2, {bad_mu}, {}).ok());
+
+  // Factor count disagrees with group count.
+  EXPECT_FALSE(BackgroundModel::RestoreFromParts(
+                   10, 2, {groups[0]},
+                   {nullptr, nullptr})
+                   .ok());
+
+  // Valid restore without factors.
+  EXPECT_TRUE(BackgroundModel::RestoreFromParts(10, 2, {groups[0]}, {}).ok());
+}
+
+}  // namespace
+}  // namespace sisd::model

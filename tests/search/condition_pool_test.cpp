@@ -87,6 +87,46 @@ TEST(ConditionPoolTest, OrdinalColumnsGetIntervalConditions) {
   }
 }
 
+TEST(ConditionPoolTest, DedupsBitIdenticalExtensions) {
+  // A low-cardinality numeric column: many quantile split points land
+  // between the same pair of observed values, so several thresholds select
+  // exactly the same rows. Only the first survives.
+  data::DataTable table;
+  std::vector<double> skewed;
+  for (int i = 0; i < 60; ++i) {
+    skewed.push_back(i < 50 ? 0.0 : (i < 55 ? 1.0 : 7.5));
+  }
+  table.AddColumn(data::Column::Numeric("skewed", skewed)).CheckOK();
+  const ConditionPool pool = ConditionPool::Build(table, 8);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_FALSE(pool.extension(i) == pool.extension(j))
+          << pool.condition(i).Signature() << " duplicates "
+          << pool.condition(j).Signature();
+    }
+  }
+  // Far fewer conditions than the 16 generated (8 splits x 2 ops): only
+  // distinct row subsets survive. With values {0, 1, 7.5} there are at
+  // most 4 non-vacuous threshold extensions (<=0, <=1, >=1, >=7.5).
+  EXPECT_LE(pool.size(), 4u);
+  EXPECT_GE(pool.size(), 2u);
+}
+
+TEST(ConditionPoolTest, DedupKeepsFirstCondition) {
+  // Two identical numeric columns: the second contributes nothing new.
+  data::DataTable table;
+  std::vector<double> values;
+  for (int i = 0; i < 30; ++i) values.push_back(double(i % 5));
+  table.AddColumn(data::Column::Numeric("first", values)).CheckOK();
+  table.AddColumn(data::Column::Numeric("clone", values)).CheckOK();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool.condition(i).attribute, 0u)
+        << "duplicate from the clone column survived: "
+        << pool.condition(i).Signature();
+  }
+}
+
 TEST(ConditionPoolTest, FewerSplitsFewerConditions) {
   const data::DataTable table = MakeTable();
   const ConditionPool small = ConditionPool::Build(table, 1);

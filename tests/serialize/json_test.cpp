@@ -1,0 +1,170 @@
+/// The JSON layer's contract: deterministic writing, strict parsing, and —
+/// the property snapshots rely on — bit-exact double round trips.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "serialize/json.hpp"
+
+namespace sisd::serialize {
+namespace {
+
+double RoundTrip(double value) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("x", JsonValue::Double(value));
+  Result<JsonValue> parsed = JsonValue::Parse(doc.Write());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Result<const JsonValue*> x = parsed.Value().Get("x");
+  EXPECT_TRUE(x.ok());
+  Result<double> back = x.Value()->GetDouble();
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return back.Value();
+}
+
+TEST(JsonDoubleTest, BitExactRoundTrips) {
+  const double values[] = {0.0,
+                           1.0,
+                           -1.0,
+                           0.1,
+                           1.0 / 3.0,
+                           M_PI,
+                           1e-308,
+                           5e-324,  // min subnormal
+                           1.7976931348623157e308,
+                           123456789.123456789,
+                           -2.2250738585072014e-308};
+  for (double v : values) {
+    const double back = RoundTrip(v);
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+        << "value " << v << " came back as " << back;
+  }
+}
+
+TEST(JsonDoubleTest, NegativeZeroKeepsItsSign) {
+  const double back = RoundTrip(-0.0);
+  EXPECT_TRUE(std::signbit(back));
+  EXPECT_EQ(FormatJsonDouble(-0.0), "-0.0");
+}
+
+TEST(JsonDoubleTest, NonFiniteUsesStringEncoding) {
+  EXPECT_EQ(FormatJsonDouble(std::numeric_limits<double>::infinity()),
+            "\"Infinity\"");
+  EXPECT_EQ(FormatJsonDouble(-std::numeric_limits<double>::infinity()),
+            "\"-Infinity\"");
+  EXPECT_EQ(FormatJsonDouble(std::nan("")), "\"NaN\"");
+  EXPECT_TRUE(std::isinf(RoundTrip(std::numeric_limits<double>::infinity())));
+  EXPECT_LT(RoundTrip(-std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_TRUE(std::isnan(RoundTrip(std::nan(""))));
+}
+
+TEST(JsonDoubleTest, IntegralDoublesStayDoubles) {
+  // 2.0 must not collapse into the int type on re-parse.
+  JsonValue doc = JsonValue::Double(2.0);
+  const std::string text = doc.Write();
+  EXPECT_EQ(text, "2.0");
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.Value().type(), JsonValue::Type::kDouble);
+}
+
+TEST(JsonValueTest, IntAndDoubleAreDistinct) {
+  Result<JsonValue> parsed = JsonValue::Parse("[1, 1.0, -3, 2e4]");
+  ASSERT_TRUE(parsed.ok());
+  const auto& items = parsed.Value().items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0].type(), JsonValue::Type::kInt);
+  EXPECT_EQ(items[1].type(), JsonValue::Type::kDouble);
+  EXPECT_EQ(items[2].type(), JsonValue::Type::kInt);
+  EXPECT_EQ(items[3].type(), JsonValue::Type::kDouble);
+  EXPECT_EQ(items[0].GetInt().Value(), 1);
+  EXPECT_EQ(items[2].GetInt().Value(), -3);
+  // GetDouble accepts ints exactly.
+  EXPECT_EQ(items[0].GetDouble().Value(), 1.0);
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Int(1));
+  obj.Set("alpha", JsonValue::Int(2));
+  obj.Set("mid", JsonValue::Int(3));
+  EXPECT_EQ(obj.Write(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite keeps the original position.
+  obj.Set("alpha", JsonValue::Int(9));
+  EXPECT_EQ(obj.Write(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonValueTest, WriteParseWriteIsIdentity) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", JsonValue::Str("quote\" backslash\\ newline\n tab\t"));
+  doc.Set("flag", JsonValue::Bool(true));
+  doc.Set("nothing", JsonValue::Null());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Double(0.25));
+  arr.Append(JsonValue::Int(-17));
+  JsonValue nested = JsonValue::Object();
+  nested.Set("empty_arr", JsonValue::Array());
+  nested.Set("empty_obj", JsonValue::Object());
+  arr.Append(std::move(nested));
+  doc.Set("items", std::move(arr));
+
+  const std::string first = doc.Write();
+  Result<JsonValue> parsed = JsonValue::Parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.Value().Write(), first);
+  // Pretty output parses back to the same document too.
+  Result<JsonValue> pretty = JsonValue::Parse(doc.Write(2));
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(pretty.Value().Write(), first);
+}
+
+TEST(JsonValueTest, ParsesEscapesAndUnicode) {
+  Result<JsonValue> parsed =
+      JsonValue::Parse("\"a\\u0041\\u00e9\\ud83d\\ude00\\/\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.Value().GetString().Value(),
+            "aA\xc3\xa9\xf0\x9f\x98\x80/");
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  const char* bad[] = {"",          "{",           "[1,",     "tru",
+                       "\"open",    "{\"a\":}",    "[1 2]",   "01x",
+                       "{\"a\" 1}", "\"\\u12\"",  "nullx",   "[],[]",
+                       "\"\\ud800\""};
+  for (const char* text : bad) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << "input: " << text;
+  }
+}
+
+TEST(JsonValueTest, RejectsExcessiveNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonValueTest, TypedAccessorsRejectWrongTypes) {
+  const JsonValue value = JsonValue::Str("hi");
+  EXPECT_FALSE(value.GetBool().ok());
+  EXPECT_FALSE(value.GetInt().ok());
+  EXPECT_FALSE(value.GetDouble().ok());  // "hi" is not a nonfinite token
+  EXPECT_TRUE(value.GetString().ok());
+  EXPECT_FALSE(JsonValue::Int(-1).GetSize().ok());
+  EXPECT_EQ(JsonValue::Int(7).GetSize().Value(), 7u);
+}
+
+TEST(JsonFileTest, WriteReadRoundTrip) {
+  const std::string path = "/tmp/sisd_json_test_file.json";
+  const std::string text = "{\"k\":[1,2.5,\"v\"]}";
+  ASSERT_TRUE(WriteTextFile(path, text).ok());
+  Result<std::string> back = ReadTextFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.Value(), text);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadTextFile(path).ok());
+  EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x/y.json", text).ok());
+}
+
+}  // namespace
+}  // namespace sisd::serialize

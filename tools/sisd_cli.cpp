@@ -1,0 +1,369 @@
+// sisd_cli — persistent mining sessions from the shell.
+//
+// Subcommands:
+//   mine    start a session over a CSV file (--csv + --targets) or a
+//           built-in paper scenario (--scenario), run iterations, print the
+//           patterns found, and optionally --session-save a snapshot.
+//   resume  restore a snapshot, run more iterations (the output continues
+//           byte-identically from where the saved session stopped), and
+//           save the grown session back.
+//   export  flatten a snapshot's history / ranked lists to CSV, or
+//           pretty-print the raw snapshot JSON.
+//
+// Every datagen scenario and arbitrary user data are drivable end to end:
+//   sisd_cli mine --scenario crime --iterations 3 --session-save s.json
+//   sisd_cli mine --csv data.csv --targets price,rent --min-coverage 20
+//   sisd_cli resume --session s.json --iterations 2
+//   sisd_cli export --session s.json --history history.csv
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "core/export.hpp"
+#include "core/session.hpp"
+#include "data/csv.hpp"
+#include "datagen/crime.hpp"
+#include "datagen/gse.hpp"
+#include "datagen/mammals.hpp"
+#include "datagen/synthetic.hpp"
+#include "datagen/water.hpp"
+#include "serialize/json.hpp"
+
+namespace sisd {
+namespace {
+
+constexpr const char* kUsage = R"(sisd_cli — subjectively interesting subgroup discovery sessions
+
+USAGE
+  sisd_cli mine (--csv FILE --targets A[,B...] | --scenario NAME) [options]
+  sisd_cli resume --session FILE [--iterations N] [--session-save OUT]
+  sisd_cli export --session FILE [--history OUT.csv]
+                  [--ranked OUT.csv [--iteration K]] [--json OUT.json]
+
+MINE INPUT
+  --csv FILE            CSV file with a header row (types are inferred)
+  --targets A,B,...     numeric columns to model as real-valued targets;
+                        every other column becomes a description attribute
+  --scenario NAME       built-in generator: synthetic | crime | mammals |
+                        water | gse (the paper's four datasets + synthetic)
+
+MINE OPTIONS (defaults = the paper's Cortana settings)
+  --iterations N        mining iterations to run (default 1)
+  --session-save FILE   write the session snapshot after mining
+  --location-only       mine location patterns only (no spread patterns)
+  --spread-sparsity K   0 = dense spread direction, 2 = pair sweep (§III-C)
+  --beam-width N        beam width (default 40)
+  --max-depth N         max conditions per intention (default 4)
+  --splits N            numeric split points per attribute (default 4)
+  --top-k N             global ranked-list size (default 150)
+  --min-coverage N      minimum subgroup size (default 2)
+  --time-budget SECONDS wall-clock search budget per iteration
+  --threads N           scoring threads (0 = auto)
+  --gamma X / --eta X   description-length parameters (default 0.1 / 1)
+
+RESUME
+  Restores the snapshot and continues mining; results are byte-identical
+  to a session that never stopped. Saves back to --session-save when
+  given, else to the --session file itself.
+
+EXPORT
+  --history FILE        one CSV row per completed iteration
+  --ranked FILE         the ranked top-k list of --iteration K (default:
+                        the last iteration) as CSV
+  --json FILE           the snapshot itself, pretty-printed
+)";
+
+struct Args {
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> flags;
+  std::vector<std::string> bare;
+
+  const std::string* Find(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+/// Flags that take no value.
+bool IsSwitch(const std::string& name) {
+  return name == "--location-only" || name == "--help" || name == "-h";
+}
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return Status::InvalidArgument("missing subcommand");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!StartsWith(token, "--") && token != "-h") {
+      args.bare.push_back(token);
+      continue;
+    }
+    if (IsSwitch(token)) {
+      args.flags.emplace_back(token, "");
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag " + token + " needs a value");
+    }
+    args.flags.emplace_back(token, argv[++i]);
+  }
+  return args;
+}
+
+Result<long long> FlagInt(const Args& args, const std::string& name,
+                          long long fallback) {
+  const std::string* raw = args.Find(name);
+  if (raw == nullptr) return fallback;
+  std::optional<long long> parsed = ParseInt(*raw);
+  if (!parsed.has_value()) {
+    return Status::InvalidArgument(name + " expects an integer, got '" +
+                                   *raw + "'");
+  }
+  return *parsed;
+}
+
+Result<double> FlagDouble(const Args& args, const std::string& name,
+                          double fallback) {
+  const std::string* raw = args.Find(name);
+  if (raw == nullptr) return fallback;
+  std::optional<double> parsed = ParseDouble(*raw);
+  if (!parsed.has_value()) {
+    return Status::InvalidArgument(name + " expects a number, got '" + *raw +
+                                   "'");
+  }
+  return *parsed;
+}
+
+Result<core::MinerConfig> ConfigFromArgs(const Args& args) {
+  core::MinerConfig config;
+  SISD_ASSIGN_OR_RETURN(
+      beam, FlagInt(args, "--beam-width", config.search.beam_width));
+  config.search.beam_width = int(beam);
+  SISD_ASSIGN_OR_RETURN(depth,
+                        FlagInt(args, "--max-depth", config.search.max_depth));
+  config.search.max_depth = int(depth);
+  SISD_ASSIGN_OR_RETURN(
+      splits, FlagInt(args, "--splits", config.search.num_split_points));
+  config.search.num_split_points = int(splits);
+  SISD_ASSIGN_OR_RETURN(
+      top_k, FlagInt(args, "--top-k", (long long)(config.search.top_k)));
+  config.search.top_k = size_t(top_k);
+  SISD_ASSIGN_OR_RETURN(
+      min_cov,
+      FlagInt(args, "--min-coverage", (long long)(config.search.min_coverage)));
+  config.search.min_coverage = size_t(min_cov);
+  SISD_ASSIGN_OR_RETURN(budget,
+                        FlagDouble(args, "--time-budget",
+                                   config.search.time_budget_seconds));
+  config.search.time_budget_seconds = budget;
+  SISD_ASSIGN_OR_RETURN(threads,
+                        FlagInt(args, "--threads", config.search.num_threads));
+  config.search.num_threads = int(threads);
+  SISD_ASSIGN_OR_RETURN(gamma, FlagDouble(args, "--gamma", config.dl.gamma));
+  config.dl.gamma = gamma;
+  SISD_ASSIGN_OR_RETURN(eta, FlagDouble(args, "--eta", config.dl.eta));
+  config.dl.eta = eta;
+  SISD_ASSIGN_OR_RETURN(sparsity, FlagInt(args, "--spread-sparsity",
+                                          config.spread_sparsity));
+  config.spread_sparsity = int(sparsity);
+  if (args.Find("--location-only") != nullptr) {
+    config.mix = core::PatternMix::kLocationOnly;
+  }
+  return config;
+}
+
+Result<data::Dataset> LoadScenario(const std::string& name) {
+  if (name == "synthetic") {
+    return datagen::MakeSyntheticEmbedded().dataset;
+  }
+  if (name == "crime") return datagen::MakeCrimeLike().dataset;
+  if (name == "mammals") return datagen::MakeMammalsLike().dataset;
+  if (name == "water") return datagen::MakeWaterLike().dataset;
+  if (name == "gse") return datagen::MakeGseLike().dataset;
+  return Status::InvalidArgument(
+      "unknown scenario '" + name +
+      "' (expected synthetic|crime|mammals|water|gse)");
+}
+
+Result<data::Dataset> LoadDataset(const Args& args) {
+  const std::string* scenario = args.Find("--scenario");
+  const std::string* csv = args.Find("--csv");
+  if ((scenario != nullptr) == (csv != nullptr)) {
+    return Status::InvalidArgument(
+        "mine needs exactly one of --csv or --scenario");
+  }
+  if (scenario != nullptr) return LoadScenario(*scenario);
+  const std::string* targets = args.Find("--targets");
+  if (targets == nullptr) {
+    return Status::InvalidArgument("--csv requires --targets");
+  }
+  SISD_ASSIGN_OR_RETURN(table, data::ReadCsvFile(*csv));
+  std::vector<std::string> target_columns;
+  for (const std::string& column : SplitString(*targets, ',')) {
+    const std::string trimmed{TrimWhitespace(column)};
+    if (!trimmed.empty()) target_columns.push_back(trimmed);
+  }
+  if (target_columns.empty()) {
+    return Status::InvalidArgument("--targets names no columns");
+  }
+  return data::MakeDataset(table, target_columns, *csv);
+}
+
+void PrintIteration(size_t index, const core::IterationResult& iteration,
+                    const data::DataTable& descriptions) {
+  std::printf("iteration %zu (%zu candidates%s):\n", index,
+              iteration.candidates_evaluated,
+              iteration.hit_time_budget ? ", hit time budget" : "");
+  std::printf("  location: %s\n",
+              iteration.location.Describe(descriptions).c_str());
+  if (iteration.spread.has_value()) {
+    std::printf("  spread:   %s\n",
+                iteration.spread->Describe(descriptions).c_str());
+  }
+}
+
+Status MineIterationsAndPrint(core::MiningSession* session, int iterations) {
+  const size_t already = session->history().size();
+  for (int i = 0; i < iterations; ++i) {
+    Result<core::IterationResult> iteration = session->MineNext();
+    if (!iteration.ok()) {
+      if (iteration.status().code() == StatusCode::kNotFound && i > 0) {
+        std::printf("search exhausted after %d iterations\n", i);
+        return Status::OK();
+      }
+      return iteration.status();
+    }
+    PrintIteration(already + size_t(i) + 1, iteration.Value(),
+                   session->dataset().descriptions);
+  }
+  return Status::OK();
+}
+
+Status RunMine(const Args& args) {
+  SISD_ASSIGN_OR_RETURN(dataset, LoadDataset(args));
+  SISD_ASSIGN_OR_RETURN(config, ConfigFromArgs(args));
+  std::printf("dataset '%s': %zu rows, %zu descriptions, %zu targets\n",
+              dataset.name.c_str(), dataset.num_rows(),
+              dataset.num_descriptions(), dataset.num_targets());
+  SISD_ASSIGN_OR_RETURN(
+      session, core::MiningSession::Create(std::move(dataset), config));
+  SISD_ASSIGN_OR_RETURN(iterations, FlagInt(args, "--iterations", 1));
+  SISD_RETURN_NOT_OK(MineIterationsAndPrint(&session, int(iterations)));
+  if (const std::string* path = args.Find("--session-save")) {
+    SISD_RETURN_NOT_OK(session.Save(*path));
+    std::printf("session saved to %s (%zu iterations)\n", path->c_str(),
+                session.history().size());
+  }
+  return Status::OK();
+}
+
+Status RunResume(const Args& args) {
+  const std::string* path = args.Find("--session");
+  if (path == nullptr) {
+    return Status::InvalidArgument("resume needs --session FILE");
+  }
+  SISD_ASSIGN_OR_RETURN(session, core::MiningSession::Restore(*path));
+  std::printf(
+      "restored session over '%s': %zu iterations mined, %zu constraints\n",
+      session.dataset().name.c_str(), session.history().size(),
+      session.mutable_assimilator()->num_constraints());
+  SISD_ASSIGN_OR_RETURN(iterations, FlagInt(args, "--iterations", 1));
+  SISD_RETURN_NOT_OK(MineIterationsAndPrint(&session, int(iterations)));
+  const std::string* save_path = args.Find("--session-save");
+  const std::string& out = save_path != nullptr ? *save_path : *path;
+  SISD_RETURN_NOT_OK(session.Save(out));
+  std::printf("session saved to %s (%zu iterations)\n", out.c_str(),
+              session.history().size());
+  return Status::OK();
+}
+
+Status RunExport(const Args& args) {
+  const std::string* path = args.Find("--session");
+  if (path == nullptr) {
+    return Status::InvalidArgument("export needs --session FILE");
+  }
+  SISD_ASSIGN_OR_RETURN(session, core::MiningSession::Restore(*path));
+  bool exported = false;
+  if (const std::string* history_path = args.Find("--history")) {
+    SISD_RETURN_NOT_OK(core::ExportHistoryCsv(session, *history_path));
+    std::printf("history (%zu iterations) -> %s\n",
+                session.history().size(), history_path->c_str());
+    exported = true;
+  }
+  if (const std::string* ranked_path = args.Find("--ranked")) {
+    if (session.history().empty()) {
+      return Status::InvalidArgument("session has no iterations to export");
+    }
+    SISD_ASSIGN_OR_RETURN(
+        iteration,
+        FlagInt(args, "--iteration", (long long)(session.history().size())));
+    if (iteration < 1 || size_t(iteration) > session.history().size()) {
+      return Status::OutOfRange(StrFormat(
+          "--iteration %lld outside 1..%zu", iteration,
+          session.history().size()));
+    }
+    const data::DataTable table = core::RankedListTable(
+        session.history()[size_t(iteration) - 1],
+        session.dataset().descriptions);
+    SISD_RETURN_NOT_OK(data::WriteCsvFile(table, *ranked_path));
+    std::printf("ranked list of iteration %lld (%zu subgroups) -> %s\n",
+                iteration, table.num_rows(), ranked_path->c_str());
+    exported = true;
+  }
+  if (const std::string* json_path = args.Find("--json")) {
+    SISD_ASSIGN_OR_RETURN(text, serialize::ReadTextFile(*path));
+    SISD_ASSIGN_OR_RETURN(parsed, serialize::JsonValue::Parse(text));
+    SISD_RETURN_NOT_OK(serialize::WriteTextFile(*json_path,
+                                                parsed.Write(2) + "\n"));
+    std::printf("snapshot JSON -> %s\n", json_path->c_str());
+    exported = true;
+  }
+  if (!exported) {
+    return Status::InvalidArgument(
+        "export needs at least one of --history / --ranked / --json");
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  Result<Args> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.status().message().c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (args.Value().command == "help" || args.Value().Find("--help") ||
+      args.Value().Find("-h")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  Status status;
+  if (args.Value().command == "mine") {
+    status = RunMine(args.Value());
+  } else if (args.Value().command == "resume") {
+    status = RunResume(args.Value());
+  } else if (args.Value().command == "export") {
+    status = RunExport(args.Value());
+  } else {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n\n%s",
+                 args.Value().command.c_str(), kUsage);
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sisd
+
+int main(int argc, char** argv) { return sisd::Main(argc, argv); }
