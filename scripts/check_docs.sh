@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Docs link checker: every intra-repo markdown link in every tracked
+# *.md file must resolve to an existing file (anchors are stripped;
+# http(s)/mailto links are skipped). Run by the CI docs job; no build
+# required.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+
+# All markdown files outside build trees.
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # Extract inline link targets: [text](target). One per line.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;   # external
+      '#'*) continue ;;                          # same-file anchor
+    esac
+    path="${target%%#*}"                         # strip anchor
+    [ -n "$path" ] || continue
+    if [ "${path#/}" != "$path" ]; then
+      resolved=".$path"                          # repo-absolute
+    else
+      resolved="$dir/$path"
+    fi
+    checked=$((checked + 1))
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $file -> $target (no such file: $resolved)" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done < <(find . -name '*.md' \
+              -not -path './build*' -not -path './.git/*' \
+              -not -path './Testing/*' | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: broken intra-repo markdown links found" >&2
+  exit 1
+fi
+echo "check_docs: $checked intra-repo links OK"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Protocol smoke run: replays scripts/serve_smoke.jsonl through a built
+# sisd_serve and asserts every request answered ok:true — and that the
+# transcript is byte-identical on 1 worker and 4 workers (the protocol's
+# determinism contract). Usage: scripts/serve_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+serve_bin="$build_dir/tools/sisd_serve"
+script="scripts/serve_smoke.jsonl"
+
+if [ ! -x "$serve_bin" ]; then
+  echo "serve_smoke: $serve_bin not built (cmake --build $build_dir --target sisd_serve_bin)" >&2
+  exit 1
+fi
+
+out1=$(mktemp)
+out4=$(mktemp)
+trap 'rm -f "$out1" "$out4"' EXIT
+
+"$serve_bin" --script "$script" --threads 1 > "$out1" 2> /dev/null
+"$serve_bin" --script "$script" --threads 4 > "$out4" 2> /dev/null
+
+expected=$(grep -cv -e '^#' -e '^[[:space:]]*$' "$script")
+got=$(wc -l < "$out1")
+if [ "$got" -ne "$expected" ]; then
+  echo "serve_smoke: expected $expected responses, got $got" >&2
+  cat "$out1" >&2
+  exit 1
+fi
+if grep -q '"ok":false' "$out1"; then
+  echo "serve_smoke: a request failed:" >&2
+  grep '"ok":false' "$out1" >&2
+  exit 1
+fi
+if ! cmp -s "$out1" "$out4"; then
+  echo "serve_smoke: transcripts differ between --threads 1 and 4" >&2
+  diff "$out1" "$out4" >&2 || true
+  exit 1
+fi
+echo "serve_smoke: $got responses OK, byte-identical across worker counts"

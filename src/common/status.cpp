@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kConflict:
+      return "Conflict";
   }
   return "InvalidCode";
 }

@@ -30,6 +30,7 @@ enum class StatusCode {
   kNumericalError = 6,    ///< non-SPD matrix, divergence, NaN, ...
   kNotImplemented = 7,    ///< feature intentionally absent
   kUnknown = 8,           ///< anything else
+  kConflict = 9,          ///< optimistic-concurrency check failed
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -73,6 +74,9 @@ class Status {
   }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
   }
   /// @}
 

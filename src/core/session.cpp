@@ -65,8 +65,9 @@ Result<IterationResult> MiningSession::MineNext() {
   // contexts instead of re-running `si::ScoreLocation` from scratch.
   search::SiLocationEvaluator evaluator(assimilator_.model(),
                                         dataset_->targets, config_.dl);
-  search::SearchResult search_result = search::BeamSearch(
-      dataset_->descriptions, pool_, config_.search, evaluator);
+  search::SearchResult search_result =
+      search::BeamSearch(dataset_->descriptions, pool_, config_.search,
+                         evaluator, thread_pool_.get());
   if (search_result.top.empty()) {
     return Status::NotFound(
         "beam search found no subgroup satisfying the constraints");
@@ -96,20 +97,56 @@ Result<IterationResult> MiningSession::MineNext() {
       iteration.location.pattern.subgroup.extension,
       iteration.location.pattern.mean));
 
-  if (config_.mix == PatternMix::kLocationAndSpread &&
-      dataset_->num_targets() >= 1) {
-    Result<ScoredSpreadPattern> spread =
-        FindSpreadPattern(iteration.location.pattern.subgroup);
-    if (!spread.ok()) return spread.status();
-    iteration.spread = spread.Value();
-    // Assimilate the spread pattern (Theorem 2).
-    SISD_RETURN_NOT_OK(assimilator_.AddSpreadPattern(
-        iteration.spread->pattern.subgroup.extension,
-        iteration.spread->pattern.direction,
-        iteration.location.pattern.mean, iteration.spread->pattern.variance));
-  }
+  // Spread step (Theorem 2). The location constraint above is already in
+  // the model, so a spread failure must not abort the iteration: it is
+  // recorded location-only with the reason in `spread_error`, keeping
+  // history and generation in sync with the mutated model.
+  AttachSpreadPattern(&iteration);
 
   history_.push_back(iteration);
+  Touch();
+  return iteration;
+}
+
+void MiningSession::AttachSpreadPattern(IterationResult* iteration) {
+  if (config_.mix != PatternMix::kLocationAndSpread ||
+      dataset_->num_targets() < 1) {
+    return;
+  }
+  Result<ScoredSpreadPattern> spread =
+      FindSpreadPattern(iteration->location.pattern.subgroup);
+  if (!spread.ok()) {
+    iteration->spread_error = spread.status().ToString();
+    return;
+  }
+  const Status added = assimilator_.AddSpreadPattern(
+      spread.Value().pattern.subgroup.extension,
+      spread.Value().pattern.direction, iteration->location.pattern.mean,
+      spread.Value().pattern.variance);
+  if (!added.ok()) {
+    iteration->spread_error = added.ToString();
+    return;
+  }
+  iteration->spread = std::move(spread).MoveValue();
+}
+
+Result<IterationResult> MiningSession::AssimilateIntention(
+    const pattern::Intention& intention) {
+  SISD_ASSIGN_OR_RETURN(scored, ScoreIntention(intention));
+
+  IterationResult iteration;
+  iteration.candidates_evaluated = 0;
+  iteration.ranked.push_back(scored);
+  iteration.location = std::move(scored);
+
+  SISD_RETURN_NOT_OK(assimilator_.AddLocationPattern(
+      iteration.location.pattern.subgroup.extension,
+      iteration.location.pattern.mean));
+
+  AttachSpreadPattern(&iteration);
+
+  history_.push_back(iteration);
+  Touch();
   return iteration;
 }
 

@@ -18,6 +18,7 @@
 #ifndef SISD_CORE_SESSION_HPP_
 #define SISD_CORE_SESSION_HPP_
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -31,6 +32,7 @@
 #include "pattern/patterns.hpp"
 #include "search/beam_search.hpp"
 #include "search/condition_pool.hpp"
+#include "search/thread_pool.hpp"
 #include "si/interestingness.hpp"
 
 namespace sisd::core {
@@ -79,6 +81,11 @@ struct ScoredSpreadPattern {
 struct IterationResult {
   ScoredLocationPattern location;
   std::optional<ScoredSpreadPattern> spread;
+  /// Set when the spread step failed *after* the location pattern was
+  /// already assimilated (rare numerical edge): the iteration is still
+  /// recorded — the model did move — with `spread` empty and the reason
+  /// here, so session state, history and snapshots never disagree.
+  std::string spread_error;
   /// The full ranked list from the beam search (top-k subgroups by SI),
   /// useful for Table-I-style inspection.
   std::vector<ScoredLocationPattern> ranked;
@@ -113,6 +120,23 @@ class MiningSession {
   /// Runs `count` iterations, stopping early on search failure.
   Result<std::vector<IterationResult>> MineIterations(int count);
 
+  /// Assimilates an analyst-chosen intention without searching: scores it
+  /// as a location pattern under the current model, registers the location
+  /// constraint (plus the best spread pattern when the config mixes them —
+  /// exactly what `MineNext` does after its search), and appends the
+  /// result to the history (`candidates_evaluated` stays 0, the ranked
+  /// list holds just this pattern). This is the paper's "analyst tells the
+  /// system what they know" step when the knowledge did not come from the
+  /// search. Fails when the intention matches no rows.
+  Result<IterationResult> AssimilateIntention(
+      const pattern::Intention& intention);
+
+  /// Deep-copies the session (dataset shared, model/constraints/history
+  /// copied): the copy mines independently and byte-identically to the
+  /// original from this point. Used by the serve layer for consistent
+  /// read-only work while the original keeps mining.
+  MiningSession Clone() const { return MiningSession(*this); }
+
   /// \name Persistence.
   /// @{
 
@@ -141,7 +165,12 @@ class MiningSession {
     return assimilator_.model();
   }
 
-  /// The assimilator (constraint registry), e.g. for refit timing studies.
+  /// The assimilator (constraint registry).
+  const model::PatternAssimilator& assimilator() const {
+    return assimilator_;
+  }
+
+  /// Mutable assimilator access, e.g. for refit timing studies.
   model::PatternAssimilator* mutable_assimilator() { return &assimilator_; }
 
   /// Scores an arbitrary intention as a location pattern under the *current*
@@ -178,6 +207,40 @@ class MiningSession {
   /// full history of the saved session).
   const std::vector<IterationResult>& history() const { return history_; }
 
+  /// \name Runtime attachments and activity tracking (not serialized).
+  /// @{
+
+  /// Attaches a shared worker pool: `MineNext` scores through it instead
+  /// of spinning up a per-search pool. Null detaches (back to per-call
+  /// pools). The pool must outlive the session's mining calls; results are
+  /// bit-identical with or without it.
+  void set_thread_pool(std::shared_ptr<search::ThreadPool> pool) {
+    thread_pool_ = std::move(pool);
+  }
+
+  /// The attached shared pool (null when none).
+  const std::shared_ptr<search::ThreadPool>& thread_pool() const {
+    return thread_pool_;
+  }
+
+  /// When the session last mutated (created, restored, mined or
+  /// assimilated). Monotonic-clock based; not part of the snapshot.
+  std::chrono::steady_clock::time_point last_activity() const {
+    return last_activity_;
+  }
+
+  /// Seconds since `last_activity()`. Diagnostic/ops surface for session
+  /// owners (e.g. a wall-clock idle-expiry policy layered on top); note
+  /// the serve layer's LRU deliberately ranks coldness by a *logical*
+  /// touch clock instead, so its behaviour stays reproducible.
+  double IdleSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         last_activity_)
+        .count();
+  }
+
+  /// @}
+
  private:
   MiningSession(std::shared_ptr<const data::Dataset> dataset,
                 MinerConfig config, search::ConditionPool pool,
@@ -187,11 +250,23 @@ class MiningSession {
         pool_(std::move(pool)),
         assimilator_(std::move(assimilator)) {}
 
+  /// Stamps `last_activity_` now.
+  void Touch() { last_activity_ = std::chrono::steady_clock::now(); }
+
+  /// Finds + assimilates the spread pattern for `iteration`'s location
+  /// subgroup (no-op for location-only configs). Never fails the
+  /// iteration: the location constraint is already assimilated when this
+  /// runs, so errors land in `iteration->spread_error` instead.
+  void AttachSpreadPattern(IterationResult* iteration);
+
   std::shared_ptr<const data::Dataset> dataset_;
   MinerConfig config_;
   search::ConditionPool pool_;
   model::PatternAssimilator assimilator_;
   std::vector<IterationResult> history_;
+  std::shared_ptr<search::ThreadPool> thread_pool_;
+  std::chrono::steady_clock::time_point last_activity_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace sisd::core

@@ -301,6 +301,11 @@ JsonValue EncodeIterationResult(const IterationResult& iteration) {
   out.Set("spread", iteration.spread.has_value()
                         ? EncodeScoredSpread(*iteration.spread)
                         : JsonValue::Null());
+  // Written only when set: snapshots of sessions that never hit a spread
+  // failure keep their exact historical bytes.
+  if (!iteration.spread_error.empty()) {
+    out.Set("spread_error", JsonValue::Str(iteration.spread_error));
+  }
   JsonValue ranked = JsonValue::Array();
   for (const ScoredLocationPattern& entry : iteration.ranked) {
     ranked.Append(EncodeScoredLocation(entry));
@@ -321,6 +326,10 @@ Result<IterationResult> DecodeIterationResult(const JsonValue& json) {
   if (!spread_json->is_null()) {
     SISD_ASSIGN_OR_RETURN(spread, DecodeScoredSpread(*spread_json));
     out.spread = std::move(spread);
+  }
+  if (const JsonValue* spread_error = json.Find("spread_error")) {
+    SISD_ASSIGN_OR_RETURN(text, spread_error->GetString());
+    out.spread_error = std::move(text);
   }
   SISD_ASSIGN_OR_RETURN(ranked_json, json.Get("ranked"));
   if (!ranked_json->is_array()) {

@@ -1,0 +1,30 @@
+#include "datagen/scenarios.hpp"
+
+#include "common/strings.hpp"
+#include "datagen/crime.hpp"
+#include "datagen/gse.hpp"
+#include "datagen/mammals.hpp"
+#include "datagen/synthetic.hpp"
+#include "datagen/water.hpp"
+
+namespace sisd::datagen {
+
+const std::vector<std::string>& ScenarioNames() {
+  static const std::vector<std::string> names = {"synthetic", "crime",
+                                                 "mammals", "water", "gse"};
+  return names;
+}
+
+std::string ScenarioNamesJoined() { return JoinStrings(ScenarioNames(), "|"); }
+
+Result<data::Dataset> MakeScenarioDataset(const std::string& name) {
+  if (name == "synthetic") return MakeSyntheticEmbedded().dataset;
+  if (name == "crime") return MakeCrimeLike().dataset;
+  if (name == "mammals") return MakeMammalsLike().dataset;
+  if (name == "water") return MakeWaterLike().dataset;
+  if (name == "gse") return MakeGseLike().dataset;
+  return Status::InvalidArgument("unknown scenario '" + name +
+                                 "' (expected " + ScenarioNamesJoined() + ")");
+}
+
+}  // namespace sisd::datagen

@@ -1,0 +1,30 @@
+/// \file scenarios.hpp
+/// \brief Name-keyed registry over the built-in dataset generators, so
+/// front ends (sisd_cli, sisd_serve) resolve "crime"-style scenario names
+/// through one code path instead of each hard-coding the dispatch.
+
+#ifndef SISD_DATAGEN_SCENARIOS_HPP_
+#define SISD_DATAGEN_SCENARIOS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "data/table.hpp"
+
+namespace sisd::datagen {
+
+/// \brief The registered scenario names, in canonical order:
+/// synthetic, crime, mammals, water, gse.
+const std::vector<std::string>& ScenarioNames();
+
+/// \brief "synthetic|crime|mammals|water|gse" (for usage/error text).
+std::string ScenarioNamesJoined();
+
+/// \brief Builds the dataset of the named scenario; InvalidArgument with
+/// the known names when `name` is not registered.
+Result<data::Dataset> MakeScenarioDataset(const std::string& name);
+
+}  // namespace sisd::datagen
+
+#endif  // SISD_DATAGEN_SCENARIOS_HPP_

@@ -141,7 +141,8 @@ class CallbackEvaluator final : public BatchEvaluator {
 
 SearchResult BeamSearch(const data::DataTable& table,
                         const ConditionPool& pool, const SearchConfig& config,
-                        BatchEvaluator& evaluator) {
+                        BatchEvaluator& evaluator,
+                        ThreadPool* shared_workers) {
   SISD_CHECK(config.beam_width >= 1);
   SISD_CHECK(config.max_depth >= 1);
   const size_t n = table.num_rows();
@@ -153,11 +154,21 @@ SearchResult BeamSearch(const data::DataTable& table,
 
   const size_t num_workers =
       evaluator.SupportsParallelScoring()
-          ? ThreadPool::ResolveNumThreads(config.num_threads)
+          ? (shared_workers != nullptr
+                 ? shared_workers->num_workers()
+                 : ThreadPool::ResolveNumThreads(config.num_threads))
           : 1;
   evaluator.Prepare(num_workers);
-  std::optional<ThreadPool> workers;
-  if (num_workers > 1) workers.emplace(num_workers);
+  std::optional<ThreadPool> local_workers;
+  ThreadPool* workers = nullptr;
+  if (num_workers > 1) {
+    if (shared_workers != nullptr) {
+      workers = shared_workers;
+    } else {
+      local_workers.emplace(num_workers);
+      workers = &*local_workers;
+    }
+  }
 
   SearchResult result;
   TopList top_list(config.top_k);
@@ -265,7 +276,7 @@ SearchResult BeamSearch(const data::DataTable& table,
         std::fill(chunk_scored.begin() + ptrdiff_t(begin),
                   chunk_scored.begin() + ptrdiff_t(end), uint8_t{1});
       };
-      if (workers.has_value()) {
+      if (workers != nullptr) {
         workers->ParallelChunks(batch.size(), kCandidateChunk, score_chunk);
       } else {
         for (size_t begin = 0; begin < batch.size();

@@ -25,6 +25,7 @@
 #include "pattern/extension.hpp"
 #include "search/batch_evaluator.hpp"
 #include "search/condition_pool.hpp"
+#include "search/thread_pool.hpp"
 
 namespace sisd::search {
 
@@ -81,9 +82,16 @@ struct SearchResult {
 
 /// \brief Runs beam search over `pool`, scoring candidate batches through
 /// `evaluator` (the primary engine entry point).
+///
+/// When `shared_workers` is non-null the search scores through that pool
+/// (whose worker count overrides `config.num_threads`) instead of spinning
+/// up a per-call pool — the serve layer shares one pool across all live
+/// sessions this way. Results stay bit-identical either way: the output is
+/// invariant to the thread count.
 SearchResult BeamSearch(const data::DataTable& table,
                         const ConditionPool& pool, const SearchConfig& config,
-                        BatchEvaluator& evaluator);
+                        BatchEvaluator& evaluator,
+                        ThreadPool* shared_workers = nullptr);
 
 /// \brief Callback compatibility overload: wraps `quality` in a
 /// single-threaded batch evaluator (arbitrary callbacks are not assumed

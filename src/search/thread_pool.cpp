@@ -44,13 +44,17 @@ void ThreadPool::ParallelChunks(
   SISD_CHECK(grain >= 1);
   if (n == 0) return;
   if (num_workers_ == 1 || n <= grain) {
-    // Inline fast path: no synchronization needed.
+    // Inline fast path: runs entirely on the calling thread, so it needs no
+    // job state and may overlap other callers' jobs safely.
     for (size_t begin = 0; begin < n; begin += grain) {
       fn(begin, std::min(begin + grain, n), 0);
     }
     return;
   }
 
+  // One job at a time: a shared pool serializes concurrent submitters here
+  // (each still participates in its own job as worker 0 below).
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_fn_ = &fn;

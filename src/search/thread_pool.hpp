@@ -6,6 +6,12 @@
 /// result is written to its candidate's index, so the merged output is
 /// independent of the thread count and of scheduling (bit-deterministic).
 ///
+/// A pool may be shared by many owners (the serve layer runs one pool for
+/// all live sessions instead of a per-search pool): `ParallelChunks` is
+/// safe to call from multiple threads concurrently — jobs are serialized
+/// through a submission lock, so the workers run one job at a time and a
+/// session's scores never interleave with another's.
+///
 /// Thread count resolution order: explicit `SearchConfig::num_threads` >
 /// `SISD_THREADS` environment variable > `std::thread::hardware_concurrency`.
 
@@ -47,7 +53,11 @@ class ThreadPool {
   /// Runs `fn(begin, end, worker_id)` over `[0, n)` in chunks of at most
   /// `grain` items, claimed dynamically. Blocks until every chunk ran.
   /// `fn` must be safe to call concurrently with distinct `worker_id`s
-  /// (`worker_id < num_workers()`).
+  /// (`worker_id < num_workers()`). Callable from multiple threads at
+  /// once: concurrent jobs run back to back, never interleaved. The
+  /// calling thread always participates as worker 0 (even while another
+  /// caller's job holds the helpers), so progress never depends on being
+  /// granted the pool.
   void ParallelChunks(size_t n, size_t grain,
                       const std::function<void(size_t, size_t, size_t)>& fn);
 
@@ -57,6 +67,9 @@ class ThreadPool {
 
   const size_t num_workers_;
   std::vector<std::thread> threads_;
+
+  /// Serializes whole jobs when several owners submit concurrently.
+  std::mutex submit_mu_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   ///< signals a new job or shutdown

@@ -1,0 +1,183 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "serialize/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace sisd::serve {
+
+using serialize::ProtocolRequest;
+using serialize::ProtocolResponse;
+
+std::string ProcessRequestLine(SessionManager& manager,
+                               const std::string& line) {
+  const std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed.front() == '#') return "";
+  Result<ProtocolRequest> request =
+      serialize::ParseRequestLine(std::string(trimmed));
+  if (!request.ok()) {
+    // No id to echo: the line never became a request.
+    return serialize::WriteResponseLine(
+        serialize::MakeErrorResponse(ProtocolRequest{}, request.status()));
+  }
+  return serialize::WriteResponseLine(
+      HandleRequest(manager, request.Value()));
+}
+
+ServeLoopStats ServeStream(SessionManager& manager, std::istream& in,
+                           std::ostream& out) {
+  ServeLoopStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string response = ProcessRequestLine(manager, line);
+    if (response.empty()) continue;
+    ++stats.requests;
+    if (response.find("\"ok\":false") != std::string::npos) ++stats.errors;
+    out << response;
+    out.flush();
+  }
+  return stats;
+}
+
+namespace {
+
+/// Writes all of `text` to `fd`, retrying short writes.
+bool WriteAll(int fd, const std::string& text) {
+  size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Serves one connection: reads bytes, splits on '\n', answers per line.
+void ServeConnection(SessionManager* manager, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      const std::string response = ProcessRequestLine(*manager, line);
+      if (!response.empty() && !WriteAll(fd, response)) {
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  // A final unterminated line still gets a response before close.
+  if (!TrimWhitespace(buffer).empty()) {
+    WriteAll(fd, ProcessRequestLine(*manager, buffer));
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
+                size_t max_connections) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("bind 127.0.0.1:%d: %s", port,
+                                  std::strerror(errno)));
+    ::close(listen_fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("getsockname: %s", std::strerror(errno)));
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(listen_fd);
+    return status;
+  }
+  announce << "listening on 127.0.0.1:" << ntohs(addr.sin_port) << "\n";
+  announce.flush();
+
+  // One thread per connection, reaped as connections finish so a
+  // long-running server does not accumulate terminated-but-unjoined
+  // threads (the vector only ever holds the live connections).
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections;
+  const auto reap = [&connections](bool all) {
+    for (size_t i = 0; i < connections.size();) {
+      if (all || connections[i].done->load()) {
+        connections[i].thread.join();
+        if (i + 1 != connections.size()) {
+          connections[i] = std::move(connections.back());
+        }
+        connections.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  };
+  size_t accepted = 0;
+  while (max_connections == 0 || accepted < max_connections) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ++accepted;
+    reap(/*all=*/false);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    connections.push_back(
+        {std::thread([&manager, fd, done] {
+           ServeConnection(&manager, fd);
+           done->store(true);
+         }),
+         done});
+  }
+  ::close(listen_fd);
+  reap(/*all=*/true);
+  return Status::OK();
+}
+
+}  // namespace sisd::serve

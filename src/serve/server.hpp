@@ -1,0 +1,50 @@
+/// \file server.hpp
+/// \brief Transports for the sisd_serve protocol: a line loop over C++
+/// streams (stdio, script files, string streams in tests) and a
+/// loopback-TCP listener with one thread per connection.
+///
+/// Both transports funnel through `ProcessRequestLine`, so every client
+/// sees identical behaviour. Blank lines and lines starting with `#` are
+/// skipped (request scripts can be commented); anything else yields
+/// exactly one newline-terminated response line.
+
+#ifndef SISD_SERVE_SERVER_HPP_
+#define SISD_SERVE_SERVER_HPP_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/status.hpp"
+#include "serve/session_manager.hpp"
+
+namespace sisd::serve {
+
+/// \brief Request/error counters of one serve loop.
+struct ServeLoopStats {
+  uint64_t requests = 0;  ///< non-skipped lines processed
+  uint64_t errors = 0;    ///< responses with ok:false
+};
+
+/// \brief Handles one protocol line. Returns "" for blank/comment lines,
+/// else the newline-terminated response (parse failures become ok:false
+/// responses, never a crash).
+std::string ProcessRequestLine(SessionManager& manager,
+                               const std::string& line);
+
+/// \brief Reads requests from `in` line by line until EOF, writing each
+/// response to `out` (flushed per line, so pipes interleave correctly).
+ServeLoopStats ServeStream(SessionManager& manager, std::istream& in,
+                           std::ostream& out);
+
+/// \brief Listens on loopback TCP `port` (0 = ephemeral) and serves each
+/// connection on its own thread against the shared `manager`. Announces
+/// `listening on 127.0.0.1:<port>` to `announce` once bound (parse this
+/// to learn an ephemeral port). Returns after `max_connections`
+/// connections were accepted and finished (0 = serve forever).
+Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
+                size_t max_connections = 0);
+
+}  // namespace sisd::serve
+
+#endif  // SISD_SERVE_SERVER_HPP_

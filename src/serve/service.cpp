@@ -1,0 +1,435 @@
+#include "serve/service.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "data/csv.hpp"
+#include "datagen/scenarios.hpp"
+
+namespace sisd::serve {
+
+using serialize::JsonValue;
+using serialize::ProtocolRequest;
+using serialize::ProtocolResponse;
+
+namespace {
+
+/// Typed optional-parameter readers over `request.params`.
+Result<std::optional<int64_t>> ParamInt(const ProtocolRequest& request,
+                                        const std::string& key) {
+  const JsonValue* value = request.params.Find(key);
+  if (value == nullptr) return std::optional<int64_t>();
+  SISD_ASSIGN_OR_RETURN(parsed, value->GetInt());
+  return std::optional<int64_t>(parsed);
+}
+
+Result<std::optional<std::string>> ParamString(const ProtocolRequest& request,
+                                               const std::string& key) {
+  const JsonValue* value = request.params.Find(key);
+  if (value == nullptr) return std::optional<std::string>();
+  SISD_ASSIGN_OR_RETURN(parsed, value->GetString());
+  return std::optional<std::string>(parsed);
+}
+
+Result<bool> ParamBool(const ProtocolRequest& request, const std::string& key,
+                       bool fallback) {
+  const JsonValue* value = request.params.Find(key);
+  if (value == nullptr) return fallback;
+  return value->GetBool();
+}
+
+Result<std::optional<uint64_t>> ParamGeneration(
+    const ProtocolRequest& request) {
+  SISD_ASSIGN_OR_RETURN(raw, ParamInt(request, "if_generation"));
+  if (!raw.has_value()) return std::optional<uint64_t>();
+  if (*raw < 0) {
+    return Status::InvalidArgument("if_generation must be >= 0");
+  }
+  return std::optional<uint64_t>(static_cast<uint64_t>(*raw));
+}
+
+Status RequireSession(const ProtocolRequest& request) {
+  if (request.session.empty()) {
+    return Status::InvalidArgument("verb '" + request.verb +
+                                   "' needs a 'session' name");
+  }
+  return Status::OK();
+}
+
+/// Applies the `config` override object of an `open` request onto the
+/// paper-default MinerConfig. Keys mirror the sisd_cli flags.
+Status ApplyConfigOverrides(const JsonValue& json,
+                            core::MinerConfig* config) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("open 'config' must be an object");
+  }
+  for (const auto& [key, value] : json.members()) {
+    if (key == "beam_width") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetInt());
+      config->search.beam_width = static_cast<int>(v);
+    } else if (key == "max_depth") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetInt());
+      config->search.max_depth = static_cast<int>(v);
+    } else if (key == "splits") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetInt());
+      config->search.num_split_points = static_cast<int>(v);
+    } else if (key == "top_k") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetSize());
+      config->search.top_k = v;
+    } else if (key == "min_coverage") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetSize());
+      config->search.min_coverage = v;
+    } else if (key == "max_coverage_fraction") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetDouble());
+      config->search.max_coverage_fraction = v;
+    } else if (key == "time_budget") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetDouble());
+      config->search.time_budget_seconds = v;
+    } else if (key == "gamma") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetDouble());
+      config->dl.gamma = v;
+    } else if (key == "eta") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetDouble());
+      config->dl.eta = v;
+    } else if (key == "location_only") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetBool());
+      config->mix = v ? core::PatternMix::kLocationOnly
+                      : core::PatternMix::kLocationAndSpread;
+    } else if (key == "spread_sparsity") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetInt());
+      config->spread_sparsity = static_cast<int>(v);
+    } else {
+      return Status::InvalidArgument("unknown config key '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+/// Resolves the dataset of an `open` request: a built-in scenario, a CSV
+/// file, or inline CSV text.
+Result<data::Dataset> DatasetFromParams(const ProtocolRequest& request) {
+  SISD_ASSIGN_OR_RETURN(scenario, ParamString(request, "scenario"));
+  SISD_ASSIGN_OR_RETURN(csv_path, ParamString(request, "csv_path"));
+  SISD_ASSIGN_OR_RETURN(csv_text, ParamString(request, "csv_text"));
+  const int sources = int(scenario.has_value()) + int(csv_path.has_value()) +
+                      int(csv_text.has_value());
+  if (sources != 1) {
+    return Status::InvalidArgument(
+        "open needs exactly one of 'scenario', 'csv_path', 'csv_text'");
+  }
+  if (scenario.has_value()) {
+    return datagen::MakeScenarioDataset(*scenario);
+  }
+  const JsonValue* targets_json = request.params.Find("targets");
+  if (targets_json == nullptr || !targets_json->is_array()) {
+    return Status::InvalidArgument(
+        "CSV input needs 'targets': an array of numeric column names");
+  }
+  std::vector<std::string> targets;
+  targets.reserve(targets_json->size());
+  for (const JsonValue& item : targets_json->items()) {
+    SISD_ASSIGN_OR_RETURN(name, item.GetString());
+    targets.push_back(std::move(name));
+  }
+  if (targets.empty()) {
+    return Status::InvalidArgument("'targets' names no columns");
+  }
+  if (csv_path.has_value()) {
+    SISD_ASSIGN_OR_RETURN(table, data::ReadCsvFile(*csv_path));
+    return data::MakeDataset(table, targets, *csv_path);
+  }
+  SISD_ASSIGN_OR_RETURN(table, data::ReadCsvText(*csv_text));
+  return data::MakeDataset(table, targets, "inline-csv");
+}
+
+JsonValue EncodeIterationSummary(const IterationSummary& summary) {
+  JsonValue out = JsonValue::Object();
+  out.Set("iteration", JsonValue::Int(static_cast<int64_t>(summary.index)));
+  out.Set("location", JsonValue::Str(summary.location));
+  if (summary.spread.has_value()) {
+    out.Set("spread", JsonValue::Str(*summary.spread));
+  }
+  if (!summary.spread_error.empty()) {
+    out.Set("spread_error", JsonValue::Str(summary.spread_error));
+  }
+  out.Set("si", JsonValue::Double(summary.si));
+  out.Set("coverage",
+          JsonValue::Int(static_cast<int64_t>(summary.coverage)));
+  out.Set("candidates",
+          JsonValue::Int(static_cast<int64_t>(summary.candidates)));
+  if (summary.hit_time_budget) {
+    out.Set("hit_time_budget", JsonValue::Bool(true));
+  }
+  return out;
+}
+
+JsonValue EncodeMineOutcome(const MineOutcome& outcome) {
+  JsonValue result = JsonValue::Object();
+  result.Set("generation",
+             JsonValue::Int(static_cast<int64_t>(outcome.generation)));
+  JsonValue iterations = JsonValue::Array();
+  for (const IterationSummary& summary : outcome.iterations) {
+    iterations.Append(EncodeIterationSummary(summary));
+  }
+  result.Set("iterations", std::move(iterations));
+  if (outcome.exhausted) result.Set("exhausted", JsonValue::Bool(true));
+  if (!outcome.stopped.empty()) {
+    result.Set("stopped", JsonValue::Str(outcome.stopped));
+  }
+  return result;
+}
+
+JsonValue EncodeSessionInfo(const SessionInfo& info) {
+  JsonValue result = JsonValue::Object();
+  result.Set("dataset", JsonValue::Str(info.dataset));
+  result.Set("rows", JsonValue::Int(static_cast<int64_t>(info.rows)));
+  result.Set("descriptions",
+             JsonValue::Int(static_cast<int64_t>(info.descriptions)));
+  result.Set("targets", JsonValue::Int(static_cast<int64_t>(info.targets)));
+  result.Set("generation",
+             JsonValue::Int(static_cast<int64_t>(info.generation)));
+  result.Set("iterations",
+             JsonValue::Int(static_cast<int64_t>(info.iterations)));
+  result.Set("constraints",
+             JsonValue::Int(static_cast<int64_t>(info.constraints)));
+  return result;
+}
+
+Result<JsonValue> DoOpen(SessionManager& manager,
+                         const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(dataset, DatasetFromParams(request));
+  core::MinerConfig config;
+  if (const JsonValue* overrides = request.params.Find("config")) {
+    SISD_RETURN_NOT_OK(ApplyConfigOverrides(*overrides, &config));
+  }
+  SISD_ASSIGN_OR_RETURN(info, manager.Open(request.session,
+                                           std::move(dataset),
+                                           std::move(config)));
+  return EncodeSessionInfo(info);
+}
+
+Result<JsonValue> DoMine(SessionManager& manager,
+                         const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(iterations_raw, ParamInt(request, "iterations"));
+  const int64_t iterations = iterations_raw.value_or(1);
+  // Bounded up front so the int64 never truncates through int.
+  constexpr int64_t kMaxIterationsPerRequest = 100000;
+  if (iterations < 1 || iterations > kMaxIterationsPerRequest) {
+    return Status::InvalidArgument(
+        StrFormat("'iterations' must be in 1..%lld, got %lld",
+                  static_cast<long long>(kMaxIterationsPerRequest),
+                  static_cast<long long>(iterations)));
+  }
+  SISD_ASSIGN_OR_RETURN(if_generation, ParamGeneration(request));
+  SISD_ASSIGN_OR_RETURN(
+      outcome, manager.Mine(request.session, static_cast<int>(iterations),
+                            if_generation));
+  return EncodeMineOutcome(outcome);
+}
+
+Result<JsonValue> DoAssimilate(SessionManager& manager,
+                               const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  const JsonValue* conditions = request.params.Find("conditions");
+  if (conditions == nullptr) {
+    return Status::InvalidArgument(
+        "assimilate needs 'conditions': an array of condition objects");
+  }
+  SISD_ASSIGN_OR_RETURN(if_generation, ParamGeneration(request));
+  SISD_ASSIGN_OR_RETURN(
+      outcome,
+      manager.Assimilate(
+          request.session,
+          [conditions](const core::MiningSession& session) {
+            return ParseConditionSpec(*conditions,
+                                      session.dataset().descriptions);
+          },
+          if_generation));
+  return EncodeMineOutcome(outcome);
+}
+
+Result<JsonValue> DoHistory(SessionManager& manager,
+                            const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(history, manager.History(request.session));
+  JsonValue result = JsonValue::Object();
+  result.Set("iterations",
+             JsonValue::Int(static_cast<int64_t>(history.size())));
+  JsonValue entries = JsonValue::Array();
+  for (const IterationSummary& summary : history) {
+    entries.Append(EncodeIterationSummary(summary));
+  }
+  result.Set("entries", std::move(entries));
+  return result;
+}
+
+Result<JsonValue> DoExport(SessionManager& manager,
+                           const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(what, ParamString(request, "what"));
+  SISD_ASSIGN_OR_RETURN(iteration_raw, ParamInt(request, "iteration"));
+  std::optional<size_t> iteration;
+  if (iteration_raw.has_value()) {
+    if (*iteration_raw < 1) {
+      return Status::OutOfRange("'iteration' must be >= 1");
+    }
+    iteration = static_cast<size_t>(*iteration_raw);
+  }
+  const std::string resolved_what = what.value_or("history");
+  SISD_ASSIGN_OR_RETURN(
+      csv, manager.ExportCsv(request.session, resolved_what, iteration));
+  JsonValue result = JsonValue::Object();
+  result.Set("what", JsonValue::Str(resolved_what));
+  result.Set("csv", JsonValue::Str(csv));
+  return result;
+}
+
+Result<JsonValue> DoSave(SessionManager& manager,
+                         const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(path, ParamString(request, "path"));
+  SISD_ASSIGN_OR_RETURN(outcome,
+                        manager.Save(request.session, path.value_or("")));
+  JsonValue result = JsonValue::Object();
+  result.Set("path", JsonValue::Str(outcome.path));
+  result.Set("bytes", JsonValue::Int(static_cast<int64_t>(outcome.bytes)));
+  return result;
+}
+
+Result<JsonValue> DoEvict(SessionManager& manager,
+                          const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_RETURN_NOT_OK(manager.Evict(request.session));
+  JsonValue result = JsonValue::Object();
+  result.Set("resident", JsonValue::Bool(false));
+  return result;
+}
+
+Result<JsonValue> DoClose(SessionManager& manager,
+                          const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(save, ParamBool(request, "save", false));
+  SISD_ASSIGN_OR_RETURN(path, ParamString(request, "path"));
+  SISD_RETURN_NOT_OK(
+      manager.Close(request.session, save, path.value_or("")));
+  JsonValue result = JsonValue::Object();
+  result.Set("closed", JsonValue::Bool(true));
+  return result;
+}
+
+Result<JsonValue> DoStats(SessionManager& manager) {
+  const ManagerStats stats = manager.Stats();
+  JsonValue result = JsonValue::Object();
+  result.Set("sessions", JsonValue::Int(static_cast<int64_t>(stats.sessions)));
+  result.Set("resident", JsonValue::Int(static_cast<int64_t>(stats.resident)));
+  result.Set("max_resident",
+             JsonValue::Int(static_cast<int64_t>(stats.max_resident)));
+  result.Set("opens", JsonValue::Int(static_cast<int64_t>(stats.opens)));
+  result.Set("evictions",
+             JsonValue::Int(static_cast<int64_t>(stats.evictions)));
+  result.Set("restores",
+             JsonValue::Int(static_cast<int64_t>(stats.restores)));
+  result.Set("closes", JsonValue::Int(static_cast<int64_t>(stats.closes)));
+  JsonValue names = JsonValue::Array();
+  for (const std::string& name : manager.SessionNames()) {
+    names.Append(JsonValue::Str(name));
+  }
+  result.Set("names", std::move(names));
+  return result;
+}
+
+}  // namespace
+
+Result<pattern::Intention> ParseConditionSpec(const JsonValue& conditions,
+                                              const data::DataTable& table) {
+  if (!conditions.is_array() || conditions.size() == 0) {
+    return Status::InvalidArgument(
+        "'conditions' must be a non-empty array of condition objects");
+  }
+  std::vector<pattern::Condition> parsed;
+  parsed.reserve(conditions.size());
+  for (const JsonValue& spec : conditions.items()) {
+    if (!spec.is_object()) {
+      return Status::InvalidArgument("each condition must be an object");
+    }
+    SISD_ASSIGN_OR_RETURN(attr_json, spec.Get("attribute"));
+    SISD_ASSIGN_OR_RETURN(attr_name, attr_json->GetString());
+    SISD_ASSIGN_OR_RETURN(attribute, table.ColumnIndex(attr_name));
+    const data::Column& column = table.column(attribute);
+    SISD_ASSIGN_OR_RETURN(op_json, spec.Get("op"));
+    SISD_ASSIGN_OR_RETURN(op, op_json->GetString());
+
+    if (op == "<=" || op == ">=") {
+      if (!data::IsOrderable(column.kind())) {
+        return Status::InvalidArgument(
+            "attribute '" + attr_name + "' is " +
+            data::AttributeKindToString(column.kind()) +
+            "; interval conditions need a numeric/ordinal attribute");
+      }
+      SISD_ASSIGN_OR_RETURN(threshold_json, spec.Get("threshold"));
+      SISD_ASSIGN_OR_RETURN(threshold, threshold_json->GetDouble());
+      parsed.push_back(op == "<="
+                           ? pattern::Condition::LessEqual(attribute,
+                                                           threshold)
+                           : pattern::Condition::GreaterEqual(attribute,
+                                                              threshold));
+      continue;
+    }
+    if (op == "=" || op == "==" || op == "!=") {
+      if (data::IsOrderable(column.kind())) {
+        return Status::InvalidArgument(
+            "attribute '" + attr_name + "' is " +
+            data::AttributeKindToString(column.kind()) +
+            "; equality conditions need a categorical/binary attribute");
+      }
+      SISD_ASSIGN_OR_RETURN(level_json, spec.Get("level"));
+      SISD_ASSIGN_OR_RETURN(label, level_json->GetString());
+      int32_t code = -1;
+      for (size_t i = 0; i < column.labels().size(); ++i) {
+        if (column.labels()[i] == label) {
+          code = static_cast<int32_t>(i);
+          break;
+        }
+      }
+      if (code < 0) {
+        return Status::InvalidArgument("attribute '" + attr_name +
+                                       "' has no level '" + label + "'");
+      }
+      parsed.push_back(op == "!="
+                           ? pattern::Condition::NotEquals(attribute, code)
+                           : pattern::Condition::Equals(attribute, code));
+      continue;
+    }
+    return Status::InvalidArgument("unknown condition op '" + op +
+                                   "' (expected <=, >=, =, !=)");
+  }
+  return pattern::Intention(std::move(parsed));
+}
+
+ProtocolResponse HandleRequest(SessionManager& manager,
+                               const ProtocolRequest& request) {
+  Result<JsonValue> result = [&]() -> Result<JsonValue> {
+    if (request.verb == "open") return DoOpen(manager, request);
+    if (request.verb == "mine") return DoMine(manager, request);
+    if (request.verb == "assimilate") return DoAssimilate(manager, request);
+    if (request.verb == "history") return DoHistory(manager, request);
+    if (request.verb == "export") return DoExport(manager, request);
+    if (request.verb == "save") return DoSave(manager, request);
+    if (request.verb == "evict") return DoEvict(manager, request);
+    if (request.verb == "close") return DoClose(manager, request);
+    if (request.verb == "stats") return DoStats(manager);
+    return Status::InvalidArgument(
+        "unknown verb '" + request.verb +
+        "' (expected open|mine|assimilate|history|export|save|evict|close|"
+        "stats)");
+  }();
+  if (!result.ok()) {
+    return serialize::MakeErrorResponse(request, result.status());
+  }
+  return serialize::MakeOkResponse(request, std::move(result).MoveValue());
+}
+
+}  // namespace sisd::serve

@@ -1,0 +1,32 @@
+/// \file service.hpp
+/// \brief Maps protocol requests onto `SessionManager` operations — the
+/// verb dispatch shared by every transport (stdio, TCP, in-process).
+///
+/// docs/PROTOCOL.md specifies the request/response schema per verb. All
+/// responses are deterministic functions of the request script and the
+/// server configuration: no wall-clock, thread-count or address fields
+/// ever enter a payload, so the same script yields byte-identical
+/// responses on 1 worker and N workers.
+
+#ifndef SISD_SERVE_SERVICE_HPP_
+#define SISD_SERVE_SERVICE_HPP_
+
+#include "serialize/protocol.hpp"
+#include "serve/session_manager.hpp"
+
+namespace sisd::serve {
+
+/// \brief Executes one request against `manager` and returns its response
+/// (errors become `ok:false` responses; this never aborts).
+serialize::ProtocolResponse HandleRequest(
+    SessionManager& manager, const serialize::ProtocolRequest& request);
+
+/// \brief Parses a condition list (`[{"attribute":..., "op":...,
+/// "threshold"|"level":...}, ...]`) against `table` into an intention.
+/// Exposed for tests; `assimilate` uses it via HandleRequest.
+Result<pattern::Intention> ParseConditionSpec(
+    const serialize::JsonValue& conditions, const data::DataTable& table);
+
+}  // namespace sisd::serve
+
+#endif  // SISD_SERVE_SERVICE_HPP_

@@ -1,0 +1,237 @@
+/// \file session_manager.hpp
+/// \brief Concurrent multi-session service core: many named
+/// `core::MiningSession`s behind a sharded mutex map.
+///
+/// The paper's workflow is one analyst holding one dialogue; serving many
+/// analysts means many live dialogues in one process. The manager provides:
+///
+///  - **Sharded locking.** Session names hash to shards; a shard mutex
+///    guards only the name→entry map, and each entry carries its own mutex
+///    held for the duration of an operation. Long operations (a mine can
+///    run seconds) therefore never block unrelated sessions. Lock order is
+///    strictly shard→entry; no code path touches a shard map while holding
+///    an entry lock.
+///  - **LRU snapshot eviction.** At most `max_resident` sessions stay in
+///    memory. Colder sessions (by a logical touch clock, not wall time, so
+///    behaviour is reproducible) are spilled through the PR 3 snapshot
+///    codec — to `spill_dir` when configured, else to an in-memory
+///    snapshot string — and restored transparently on next touch. Because
+///    snapshots round-trip bit-exactly, eviction is invisible in results:
+///    mine-after-restore output is byte-identical to an always-resident
+///    session.
+///  - **Optimistic concurrency.** Every session carries a generation
+///    counter bumped once per assimilated iteration. Mutating requests may
+///    pass the generation they last saw; a mismatch fails with
+///    `StatusCode::kConflict` before any work, so two analysts sharing a
+///    session cannot silently interleave model updates.
+///  - **One worker pool.** All sessions score through a single shared
+///    `search::ThreadPool` (instead of a pool per search call), so a busy
+///    server never oversubscribes the machine. Results are bit-identical
+///    for any worker count.
+
+#ifndef SISD_SERVE_SESSION_MANAGER_HPP_
+#define SISD_SERVE_SESSION_MANAGER_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/session.hpp"
+#include "data/table.hpp"
+#include "search/thread_pool.hpp"
+
+namespace sisd::serve {
+
+/// \brief Service-layer configuration.
+struct ServeConfig {
+  /// Sessions kept in memory before LRU spill (floor 1).
+  size_t max_resident = 64;
+  /// Directory for eviction snapshots; "" spills to in-memory strings
+  /// (same codec, no filesystem).
+  std::string spill_dir;
+  /// Shards of the name→session map (floor 1).
+  size_t num_shards = 8;
+  /// Workers in the shared scoring pool: >= 1 literal, 0 = auto
+  /// (`SISD_THREADS`, then hardware concurrency).
+  int num_threads = 1;
+};
+
+/// \brief One history entry rendered for transport (Describe() text plus
+/// the scalar diagnostics a client ranks by).
+struct IterationSummary {
+  size_t index = 0;  ///< 1-based position in the session history
+  std::string location;
+  std::optional<std::string> spread;
+  /// Why the spread step failed after location assimilation ("" normally).
+  std::string spread_error;
+  double si = 0.0;          ///< location-pattern SI
+  size_t coverage = 0;      ///< subgroup size
+  size_t candidates = 0;    ///< search evaluations (0 for `assimilate`)
+  bool hit_time_budget = false;
+};
+
+/// \brief Shape and progress of one session.
+struct SessionInfo {
+  std::string name;
+  uint64_t generation = 0;
+  size_t iterations = 0;
+  size_t constraints = 0;
+  std::string dataset;
+  size_t rows = 0;
+  size_t descriptions = 0;
+  size_t targets = 0;
+  bool resident = true;
+};
+
+/// \brief Result of a `Mine` / `Assimilate` call.
+struct MineOutcome {
+  uint64_t generation = 0;
+  std::vector<IterationSummary> iterations;  ///< entries added by this call
+  /// True when the search ran out of acceptable subgroups before the
+  /// requested iteration count (the entries mined until then are kept).
+  bool exhausted = false;
+  /// Set when a later iteration failed after earlier ones had already
+  /// been assimilated: the completed entries and the new generation are
+  /// reported (they are committed session state), plus why mining
+  /// stopped. Empty on full success and on `exhausted`.
+  std::string stopped;
+};
+
+/// \brief Result of a `Save` call.
+struct SaveOutcome {
+  std::string path;
+  size_t bytes = 0;
+};
+
+/// \brief Manager-wide counters (logical, deterministic for a given
+/// request script — no wall-clock fields).
+struct ManagerStats {
+  size_t sessions = 0;   ///< open sessions, resident or spilled
+  size_t resident = 0;   ///< sessions currently in memory
+  size_t max_resident = 0;
+  uint64_t opens = 0;
+  uint64_t evictions = 0;
+  uint64_t restores = 0;
+  uint64_t closes = 0;
+};
+
+/// \brief Builds the intention an `Assimilate` call should register, given
+/// the locked session (used to resolve attribute names against its
+/// dataset).
+using IntentionBuilder =
+    std::function<Result<pattern::Intention>(const core::MiningSession&)>;
+
+/// \brief Owns the named sessions and every policy above. Thread-safe:
+/// all public methods may be called concurrently.
+class SessionManager {
+ public:
+  explicit SessionManager(ServeConfig config);
+  ~SessionManager();  // out of line: Shard/SessionEntry are .cpp-private
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session named `name` over `dataset`. AlreadyExists when the
+  /// name is taken.
+  Result<SessionInfo> Open(const std::string& name, data::Dataset dataset,
+                           core::MinerConfig config);
+
+  /// Runs up to `iterations` mining iterations. `if_generation` (when set)
+  /// must equal the session's current generation or the call fails with
+  /// Conflict before mining. Exhausting the search after at least one
+  /// iteration is success with `exhausted = true`.
+  Result<MineOutcome> Mine(const std::string& name, int iterations,
+                           std::optional<uint64_t> if_generation);
+
+  /// Assimilates the intention produced by `builder` (no search).
+  Result<MineOutcome> Assimilate(const std::string& name,
+                                 const IntentionBuilder& builder,
+                                 std::optional<uint64_t> if_generation);
+
+  /// The full iteration history as transport summaries.
+  Result<std::vector<IterationSummary>> History(const std::string& name);
+
+  /// Flattens session state to CSV text: `what` = "history" (one row per
+  /// iteration) or "ranked" (the top-k list of iteration `iteration`,
+  /// default the last).
+  Result<std::string> ExportCsv(const std::string& name,
+                                const std::string& what,
+                                std::optional<size_t> iteration);
+
+  /// Writes the session snapshot to `path` (default: the session's spill
+  /// path; fails when neither a path nor a spill_dir exists).
+  Result<SaveOutcome> Save(const std::string& name, const std::string& path);
+
+  /// Force-spills the session now (idempotent). The next touch restores
+  /// it transparently; results are unaffected.
+  Status Evict(const std::string& name);
+
+  /// Removes the session. `save` first persists a snapshot to `path` (or
+  /// the spill path). The name becomes reusable.
+  Status Close(const std::string& name, bool save, const std::string& path);
+
+  /// Shape/progress of one session (restores it if spilled).
+  Result<SessionInfo> Info(const std::string& name);
+
+  /// Deep-copies the session for consistent read-only work; the copy is
+  /// detached from the manager.
+  Result<core::MiningSession> CloneSession(const std::string& name);
+
+  /// Open session names, sorted (deterministic).
+  std::vector<std::string> SessionNames() const;
+
+  /// Manager-wide counters.
+  ManagerStats Stats() const;
+
+  /// The shared scoring pool (never null).
+  const std::shared_ptr<search::ThreadPool>& thread_pool() const {
+    return pool_;
+  }
+
+  /// Where `name` spills/saves by default ("" without a spill_dir).
+  std::string SpillPathFor(const std::string& name) const;
+
+ private:
+  struct SessionEntry;
+  struct Shard;
+  struct LockedSession;
+
+  Shard& ShardFor(const std::string& name) const;
+  std::shared_ptr<SessionEntry> FindEntry(const std::string& name) const;
+  void RemoveEntry(const std::string& name, const SessionEntry* expected);
+
+  /// Finds, locks, restores-if-spilled and touches the session.
+  Result<LockedSession> Lock(const std::string& name);
+
+  /// Restores a spilled session (entry mutex held).
+  Status EnsureResident(SessionEntry* entry);
+  /// Spills a resident session (entry mutex held).
+  Status EvictEntryLocked(SessionEntry* entry);
+  /// Spills coldest sessions until the resident count fits. Takes shard
+  /// and entry locks itself; callers must hold none.
+  void MaybeEvict();
+
+  SessionInfo InfoLocked(const SessionEntry& entry) const;
+  uint64_t NextTouch() { return touch_clock_.fetch_add(1) + 1; }
+
+  ServeConfig config_;
+  std::shared_ptr<search::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> touch_clock_{0};
+  std::atomic<size_t> resident_count_{0};
+  std::atomic<uint64_t> opens_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> restores_{0};
+  std::atomic<uint64_t> closes_{0};
+};
+
+}  // namespace sisd::serve
+
+#endif  // SISD_SERVE_SESSION_MANAGER_HPP_

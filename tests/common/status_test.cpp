@@ -24,7 +24,14 @@ TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
             StatusCode::kNumericalError);
   EXPECT_EQ(Status::NotImplemented("ni").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Unknown("u").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::Conflict("gen").code(), StatusCode::kConflict);
   EXPECT_EQ(Status::IOError("io").message(), "io");
+}
+
+TEST(StatusTest, ConflictRendersItsCodeName) {
+  EXPECT_EQ(Status::Conflict("generation mismatch").ToString(),
+            "Conflict: generation mismatch");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConflict), "Conflict");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {

@@ -101,6 +101,47 @@ TEST_F(CliSmokeTest, MinesUserCsv) {
   EXPECT_EQ(RunCli("resume --session " + Path("csv.json")), 0);
 }
 
+TEST_F(CliSmokeTest, UnknownSubcommandPrintsUsageToStderr) {
+  const std::string err_path = Path("unknown_subcommand_stderr.txt");
+  const std::string command = std::string(SISD_CLI_BIN) +
+                              " frobnicate > /dev/null 2> " + err_path;
+  const int rc = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_NE(WEXITSTATUS(rc), 0);
+  const std::string err = ReadFile(err_path);
+  EXPECT_NE(err.find("unknown subcommand 'frobnicate'"), std::string::npos)
+      << "stderr: " << err;
+  EXPECT_NE(err.find("USAGE"), std::string::npos)
+      << "usage text missing from stderr on unknown subcommand";
+  // Missing subcommand gets the same treatment.
+  const std::string command2 = std::string(SISD_CLI_BIN) +
+                               " > /dev/null 2> " + err_path;
+  const int rc2 = std::system(command2.c_str());
+  ASSERT_TRUE(WIFEXITED(rc2));
+  EXPECT_NE(WEXITSTATUS(rc2), 0);
+  EXPECT_NE(ReadFile(err_path).find("USAGE"), std::string::npos);
+}
+
+TEST_F(CliSmokeTest, ServeSubcommandAnswersProtocolScript) {
+  {
+    std::ofstream script(Path("serve.jsonl"));
+    script << R"({"id":1,"verb":"open","session":"s","scenario":"synthetic",)"
+           << R"("config":{"beam_width":8,"max_depth":2,"top_k":20,)"
+           << R"("min_coverage":5}})" << "\n"
+           << R"({"id":2,"verb":"mine","session":"s"})" << "\n";
+  }
+  const std::string command = std::string(SISD_CLI_BIN) +
+                              " serve --script " + Path("serve.jsonl") +
+                              " > " + Path("serve.out") + " 2> /dev/null";
+  const int rc = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  ASSERT_EQ(WEXITSTATUS(rc), 0);
+  const std::string out = ReadFile(Path("serve.out"));
+  EXPECT_NE(out.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(out.find("\"iteration\":1"), std::string::npos);
+}
+
 TEST_F(CliSmokeTest, MisuseFailsLoudly) {
   EXPECT_EQ(RunCli("help"), 0);
   EXPECT_NE(RunCli(""), 0);

@@ -9,14 +9,20 @@
 //           save the grown session back.
 //   export  flatten a snapshot's history / ranked lists to CSV, or
 //           pretty-print the raw snapshot JSON.
+//   serve   drive an in-process sisd_serve session server end to end:
+//           read protocol requests from a script file or stdin, answer
+//           on stdout (the smoke-test entry point for docs/PROTOCOL.md).
 //
 // Every datagen scenario and arbitrary user data are drivable end to end:
 //   sisd_cli mine --scenario crime --iterations 3 --session-save s.json
 //   sisd_cli mine --csv data.csv --targets price,rent --min-coverage 20
 //   sisd_cli resume --session s.json --iterations 2
 //   sisd_cli export --session s.json --history history.csv
+//   sisd_cli serve --script requests.jsonl
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,12 +32,10 @@
 #include "core/export.hpp"
 #include "core/session.hpp"
 #include "data/csv.hpp"
-#include "datagen/crime.hpp"
-#include "datagen/gse.hpp"
-#include "datagen/mammals.hpp"
-#include "datagen/synthetic.hpp"
-#include "datagen/water.hpp"
+#include "datagen/scenarios.hpp"
 #include "serialize/json.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
 
 namespace sisd {
 namespace {
@@ -43,6 +47,8 @@ USAGE
   sisd_cli resume --session FILE [--iterations N] [--session-save OUT]
   sisd_cli export --session FILE [--history OUT.csv]
                   [--ranked OUT.csv [--iteration K]] [--json OUT.json]
+  sisd_cli serve [--script FILE] [--max-resident N] [--spill-dir DIR]
+                 [--threads N]
 
 MINE INPUT
   --csv FILE            CSV file with a header row (types are inferred)
@@ -75,6 +81,13 @@ EXPORT
   --ranked FILE         the ranked top-k list of --iteration K (default:
                         the last iteration) as CSV
   --json FILE           the snapshot itself, pretty-printed
+
+SERVE
+  Runs the sisd_serve protocol (docs/PROTOCOL.md) against an in-process
+  session server: one JSON request per line from --script FILE (default
+  stdin), one JSON response per line on stdout. --max-resident bounds the
+  sessions kept in memory (colder ones spill to --spill-dir and restore
+  transparently); --threads sizes the shared scoring pool.
 )";
 
 struct Args {
@@ -179,19 +192,6 @@ Result<core::MinerConfig> ConfigFromArgs(const Args& args) {
   return config;
 }
 
-Result<data::Dataset> LoadScenario(const std::string& name) {
-  if (name == "synthetic") {
-    return datagen::MakeSyntheticEmbedded().dataset;
-  }
-  if (name == "crime") return datagen::MakeCrimeLike().dataset;
-  if (name == "mammals") return datagen::MakeMammalsLike().dataset;
-  if (name == "water") return datagen::MakeWaterLike().dataset;
-  if (name == "gse") return datagen::MakeGseLike().dataset;
-  return Status::InvalidArgument(
-      "unknown scenario '" + name +
-      "' (expected synthetic|crime|mammals|water|gse)");
-}
-
 Result<data::Dataset> LoadDataset(const Args& args) {
   const std::string* scenario = args.Find("--scenario");
   const std::string* csv = args.Find("--csv");
@@ -199,7 +199,7 @@ Result<data::Dataset> LoadDataset(const Args& args) {
     return Status::InvalidArgument(
         "mine needs exactly one of --csv or --scenario");
   }
-  if (scenario != nullptr) return LoadScenario(*scenario);
+  if (scenario != nullptr) return datagen::MakeScenarioDataset(*scenario);
   const std::string* targets = args.Find("--targets");
   if (targets == nullptr) {
     return Status::InvalidArgument("--csv requires --targets");
@@ -332,6 +332,42 @@ Status RunExport(const Args& args) {
   return Status::OK();
 }
 
+Status RunServe(const Args& args) {
+  serve::ServeConfig config;
+  SISD_ASSIGN_OR_RETURN(
+      max_resident,
+      FlagInt(args, "--max-resident", (long long)(config.max_resident)));
+  if (max_resident < 1) {
+    return Status::InvalidArgument("--max-resident must be >= 1");
+  }
+  config.max_resident = size_t(max_resident);
+  if (const std::string* dir = args.Find("--spill-dir")) {
+    config.spill_dir = *dir;
+  }
+  SISD_ASSIGN_OR_RETURN(threads,
+                        FlagInt(args, "--threads", config.num_threads));
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0 (0 = auto)");
+  }
+  config.num_threads = int(threads);
+  serve::SessionManager manager(config);
+
+  serve::ServeLoopStats stats;
+  if (const std::string* script = args.Find("--script")) {
+    std::ifstream in(*script);
+    if (!in) {
+      return Status::IOError("cannot open script '" + *script + "'");
+    }
+    stats = serve::ServeStream(manager, in, std::cout);
+  } else {
+    stats = serve::ServeStream(manager, std::cin, std::cout);
+  }
+  std::fprintf(stderr, "serve: %llu requests, %llu errors\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.errors));
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   Result<Args> args = ParseArgs(argc, argv);
   if (!args.ok()) {
@@ -351,6 +387,8 @@ int Main(int argc, char** argv) {
     status = RunResume(args.Value());
   } else if (args.Value().command == "export") {
     status = RunExport(args.Value());
+  } else if (args.Value().command == "serve") {
+    status = RunServe(args.Value());
   } else {
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n%s",
                  args.Value().command.c_str(), kUsage);

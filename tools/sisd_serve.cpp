@@ -1,0 +1,182 @@
+// sisd_serve — concurrent mining-session server.
+//
+// Speaks the line-delimited JSON protocol of docs/PROTOCOL.md over
+// stdin/stdout (default), a request-script file (--script), or a loopback
+// TCP socket (--tcp PORT, one thread per connection). All sessions share
+// one scoring pool and at most --max-resident of them stay in memory;
+// colder ones spill to --spill-dir snapshots and restore transparently.
+//
+//   sisd_serve                              # stdio, defaults
+//   sisd_serve --script requests.jsonl      # scripted run (CI smoke)
+//   sisd_serve --tcp 0 --spill-dir /tmp/s   # ephemeral port, disk spill
+//
+// Responses go to stdout only; diagnostics (banner, the TCP listen line)
+// go to stderr, so stdout is byte-for-byte the protocol transcript.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "search/thread_pool.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
+
+namespace sisd {
+namespace {
+
+constexpr const char* kUsage = R"(sisd_serve — concurrent subgroup-discovery session server
+
+USAGE
+  sisd_serve [--script FILE] [--tcp PORT [--accept-once]] [options]
+
+TRANSPORT
+  (default)          read requests from stdin, answer on stdout
+  --script FILE      read requests from FILE instead of stdin
+  --tcp PORT         serve loopback TCP instead of stdio (0 = ephemeral
+                     port; the chosen port is announced on stderr)
+  --accept-once      exit after the first TCP connection closes (tests)
+
+SERVICE OPTIONS
+  --max-resident N   sessions kept in memory before LRU spill (default 64)
+  --spill-dir DIR    directory for eviction/save snapshots (default: spill
+                     to in-memory snapshots; 'save' then needs a 'path')
+  --threads N        shared scoring-pool workers (default 1, 0 = auto)
+  --shards N         shards of the session map (default 8)
+
+PROTOCOL
+  One JSON request per line; verbs: open, mine, assimilate, history,
+  export, save, evict, close, stats. See docs/PROTOCOL.md for the full
+  schema and worked examples.
+)";
+
+struct ServeArgs {
+  serve::ServeConfig config;
+  std::optional<std::string> script;
+  std::optional<int> tcp_port;
+  bool accept_once = false;
+};
+
+Result<long long> ParseIntFlag(const std::string& flag,
+                               const std::string& raw) {
+  std::optional<long long> parsed = ParseInt(raw);
+  if (!parsed.has_value()) {
+    return Status::InvalidArgument(flag + " expects an integer, got '" +
+                                   raw + "'");
+  }
+  return *parsed;
+}
+
+Result<ServeArgs> ParseArgs(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      continue;  // already handled by Main's pre-scan
+    }
+    if (flag == "--accept-once") {
+      args.accept_once = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag " + flag + " needs a value");
+    }
+    const std::string value = argv[++i];
+    if (flag == "--script") {
+      args.script = value;
+    } else if (flag == "--tcp") {
+      SISD_ASSIGN_OR_RETURN(port, ParseIntFlag(flag, value));
+      if (port < 0 || port > 65535) {
+        return Status::InvalidArgument("--tcp expects a port in 0..65535");
+      }
+      args.tcp_port = int(port);
+    } else if (flag == "--max-resident") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 1) {
+        return Status::InvalidArgument("--max-resident must be >= 1");
+      }
+      args.config.max_resident = size_t(n);
+    } else if (flag == "--spill-dir") {
+      args.config.spill_dir = value;
+    } else if (flag == "--threads") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 0 || n > int(search::ThreadPool::kMaxThreads)) {
+        return Status::InvalidArgument(
+            "--threads must be in 0..256 (0 = auto)");
+      }
+      args.config.num_threads = int(n);
+    } else if (flag == "--shards") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 1 || n > 4096) {
+        return Status::InvalidArgument("--shards must be in 1..4096");
+      }
+      args.config.num_shards = size_t(n);
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  return args;
+}
+
+int Main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+  }
+  Result<ServeArgs> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.status().message().c_str(),
+                 kUsage);
+    return 2;
+  }
+  serve::SessionManager manager(args.Value().config);
+  std::fprintf(stderr,
+               "sisd_serve: max_resident=%zu shards=%zu workers=%zu "
+               "spill=%s\n",
+               std::max<size_t>(args.Value().config.max_resident, 1),
+               std::max<size_t>(args.Value().config.num_shards, 1),
+               manager.thread_pool()->num_workers(),
+               args.Value().config.spill_dir.empty()
+                   ? "<memory>"
+                   : args.Value().config.spill_dir.c_str());
+
+  if (args.Value().tcp_port.has_value()) {
+    const Status status =
+        serve::ServeTcp(manager, *args.Value().tcp_port, std::cerr,
+                        args.Value().accept_once ? 1 : 0);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  serve::ServeLoopStats stats;
+  if (args.Value().script.has_value()) {
+    std::ifstream in(*args.Value().script);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open script '%s'\n",
+                   args.Value().script->c_str());
+      return 1;
+    }
+    stats = serve::ServeStream(manager, in, std::cout);
+  } else {
+    stats = serve::ServeStream(manager, std::cin, std::cout);
+  }
+  std::fprintf(stderr, "sisd_serve: %llu requests, %llu errors\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.errors));
+  return 0;
+}
+
+}  // namespace
+}  // namespace sisd
+
+int main(int argc, char** argv) { return sisd::Main(argc, argv); }
