@@ -1,0 +1,175 @@
+// bench_catalog_storm — the open-storm benchmark behind BENCH_catalog.json.
+//
+// Opens N sessions on one dataset and reports open latencies plus memory:
+//   --mode catalog   sessions share the catalog's dataset + condition pool
+//                    (dataset_load once, then open-by-dataset_ref; the
+//                    first open builds the pool, the rest reuse it)
+//   --mode copy      each session owns a private dataset copy and builds
+//                    its own pool (the pre-catalog architecture)
+//
+// Run one mode per process so peak-RSS numbers do not contaminate each
+// other; scripts/bench_catalog.sh runs both and merges the JSON.
+//
+//   bench_catalog_storm --mode catalog --sessions 64 --scenario crime
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/dataset_catalog.hpp"
+#include "core/session.hpp"
+#include "datagen/scenarios.hpp"
+#include "serialize/json.hpp"
+#include "serve/session_manager.hpp"
+
+namespace sisd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Current resident set in KiB (VmRSS from /proc/self/status; 0 when
+/// unavailable).
+size_t CurrentRssKb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return size_t(std::atoll(line.c_str() + 6));
+    }
+  }
+  return 0;
+}
+
+size_t PeakRssKb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return size_t(usage.ru_maxrss);
+}
+
+struct StormResult {
+  double load_ms = 0.0;       ///< dataset ingest/registration (catalog only)
+  double cold_open_ms = 0.0;  ///< first open (builds the pool)
+  std::vector<double> warm_open_ms;  ///< remaining opens
+  size_t rss_after_first_kb = 0;
+  size_t rss_after_all_kb = 0;
+};
+
+StormResult RunCatalogStorm(const std::string& scenario, int sessions) {
+  StormResult result;
+  serve::SessionManager manager((serve::ServeConfig()));
+  Clock::time_point start = Clock::now();
+  Result<catalog::PinnedDataset> loaded = manager.catalog()->Intern(
+      datagen::MakeScenarioDataset(scenario).Value(), /*pin=*/false,
+      /*retain=*/true);
+  loaded.status().CheckOK();
+  result.load_ms = MsSince(start);
+  const std::string ref = loaded.Value().dataset->name;
+  for (int i = 0; i < sessions; ++i) {
+    std::string name = "s";
+    name += std::to_string(i);
+    start = Clock::now();
+    manager.OpenRef(name, ref, core::MinerConfig()).status().CheckOK();
+    const double ms = MsSince(start);
+    if (i == 0) {
+      result.cold_open_ms = ms;
+      result.rss_after_first_kb = CurrentRssKb();
+    } else {
+      result.warm_open_ms.push_back(ms);
+    }
+  }
+  result.rss_after_all_kb = CurrentRssKb();
+  return result;
+}
+
+StormResult RunCopyStorm(const std::string& scenario, int sessions) {
+  StormResult result;
+  std::vector<core::MiningSession> open_sessions;
+  open_sessions.reserve(size_t(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    Clock::time_point start = Clock::now();
+    Result<core::MiningSession> session = core::MiningSession::Create(
+        datagen::MakeScenarioDataset(scenario).Value(), core::MinerConfig());
+    session.status().CheckOK();
+    open_sessions.push_back(std::move(session).MoveValue());
+    const double ms = MsSince(start);
+    if (i == 0) {
+      result.cold_open_ms = ms;
+      result.rss_after_first_kb = CurrentRssKb();
+    } else {
+      result.warm_open_ms.push_back(ms);
+    }
+  }
+  result.rss_after_all_kb = CurrentRssKb();
+  return result;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / double(values.size());
+}
+
+int Main(int argc, char** argv) {
+  std::string mode = "catalog";
+  std::string scenario = "crime";
+  int sessions = 64;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--mode") == 0) {
+      mode = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      scenario = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions = std::atoi(argv[i + 1]);
+    }
+  }
+  if (sessions < 2 || (mode != "catalog" && mode != "copy")) {
+    std::fprintf(stderr,
+                 "usage: bench_catalog_storm --mode catalog|copy "
+                 "[--scenario NAME] [--sessions N>=2]\n");
+    return 2;
+  }
+
+  const StormResult result = mode == "catalog"
+                                 ? RunCatalogStorm(scenario, sessions)
+                                 : RunCopyStorm(scenario, sessions);
+
+  serialize::JsonValue out = serialize::JsonValue::Object();
+  out.Set("mode", serialize::JsonValue::Str(mode));
+  out.Set("scenario", serialize::JsonValue::Str(scenario));
+  out.Set("sessions", serialize::JsonValue::Int(sessions));
+  out.Set("load_ms", serialize::JsonValue::Double(result.load_ms));
+  out.Set("cold_open_ms", serialize::JsonValue::Double(result.cold_open_ms));
+  out.Set("warm_open_mean_ms",
+          serialize::JsonValue::Double(Mean(result.warm_open_ms)));
+  out.Set("rss_after_first_kb",
+          serialize::JsonValue::Int(int64_t(result.rss_after_first_kb)));
+  out.Set("rss_after_all_kb",
+          serialize::JsonValue::Int(int64_t(result.rss_after_all_kb)));
+  // Marginal memory of one extra session beyond the first (signed: RSS
+  // can shrink when the allocator returns pool-build scratch to the OS).
+  const double marginal_kb = (double(result.rss_after_all_kb) -
+                              double(result.rss_after_first_kb)) /
+                             double(sessions - 1);
+  out.Set("marginal_kb_per_session",
+          serialize::JsonValue::Double(marginal_kb));
+  out.Set("peak_rss_kb", serialize::JsonValue::Int(int64_t(PeakRssKb())));
+  std::printf("%s\n", out.Write(2).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sisd
+
+int main(int argc, char** argv) { return sisd::Main(argc, argv); }

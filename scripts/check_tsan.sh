@@ -2,9 +2,11 @@
 # ThreadSanitizer variant of the concurrency tests: builds with
 # SISD_SANITIZE=thread and runs the suites that exercise the batch
 # evaluation engine's worker pool (batch_evaluator_test's parallel scoring,
-# thread_invariance_test's multi-threaded mining, beam_search_test) and
-# the concurrent session service (serve_hammer_test's interleaved
-# mine/save/evict/close storm, serve_loop_test's TCP transport).
+# thread_invariance_test's multi-threaded mining, beam_search_test), the
+# concurrent session service (serve_hammer_test's interleaved
+# mine/save/evict/close storm, serve_loop_test's TCP transport), and the
+# shared dataset catalog (catalog_hammer_test's concurrent
+# open/dataset_drop/mine storm over one catalog entry).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,7 +17,7 @@ cmake -B build-tsan -S . \
   -DSISD_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j \
   --target batch_evaluator_test thread_invariance_test beam_search_test \
-           serve_hammer_test serve_loop_test
+           serve_hammer_test serve_loop_test catalog_hammer_test
 cd build-tsan
 ctest --output-on-failure \
-  -R 'batch_evaluator_test|thread_invariance_test|beam_search_test|serve_hammer_test|serve_loop_test'
+  -R 'batch_evaluator_test|thread_invariance_test|beam_search_test|serve_hammer_test|serve_loop_test|catalog_hammer_test'

@@ -1,0 +1,51 @@
+#include "catalog/artifact_cache.hpp"
+
+#include <utility>
+
+namespace sisd::catalog {
+
+std::shared_ptr<const search::ConditionPool> ArtifactCache::PoolFor(
+    uint64_t fingerprint, const data::DataTable& descriptions,
+    int num_splits, bool include_exclusions) {
+  const Key key{fingerprint, num_splits, include_exclusions};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pools_.find(key);
+    if (it != pools_.end()) return it->second;
+  }
+  // Miss: build outside the lock (pure function of the inputs, so two
+  // racing builders produce interchangeable pools; first insert wins).
+  auto built = std::make_shared<const search::ConditionPool>(
+      search::ConditionPool::Build(descriptions, num_splits,
+                                   include_exclusions));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = pools_.emplace(key, std::move(built));
+  return it->second;
+}
+
+size_t ArtifactCache::PoolCountFor(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const auto& [key, pool] : pools_) {
+    if (std::get<0>(key) == fingerprint) ++count;
+  }
+  return count;
+}
+
+size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pools_.size();
+}
+
+void ArtifactCache::DropPoolsFor(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pools_.begin(); it != pools_.end();) {
+    if (std::get<0>(it->first) == fingerprint) {
+      it = pools_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sisd::catalog

@@ -1,0 +1,302 @@
+#include "catalog/dataset_catalog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "serialize/snapshot.hpp"
+
+namespace sisd::catalog {
+
+DatasetCatalog::DatasetCatalog(CatalogConfig config) : config_(config) {}
+
+PinnedDataset DatasetCatalog::TouchLocked(Entry* entry, uint64_t fingerprint,
+                                          bool pin, bool reused) {
+  entry->last_touch = ++touch_clock_;
+  if (pin) ++entry->pins;
+  PinnedDataset out;
+  out.dataset = entry->dataset;
+  out.fingerprint = fingerprint;
+  out.bytes = entry->bytes;
+  out.reused = reused;
+  return out;
+}
+
+void DatasetCatalog::EraseEntryLocked(
+    std::map<uint64_t, Entry>::iterator it) {
+  artifacts_.DropPoolsFor(it->first);
+  total_bytes_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+void DatasetCatalog::EnforceBudgetLocked() {
+  if (config_.max_bytes == 0) return;
+  while (total_bytes_ > config_.max_bytes) {
+    // Coldest unpinned entry by logical touch clock.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins > 0) continue;
+      if (victim == entries_.end() ||
+          it->second.last_touch < victim->second.last_touch) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // everything live is pinned
+    EraseEntryLocked(victim);
+  }
+}
+
+Result<PinnedDataset> DatasetCatalog::Intern(data::Dataset dataset, bool pin,
+                                             bool retain) {
+  SISD_RETURN_NOT_OK(dataset.Validate());
+  // Fingerprinting serializes the dataset — do it outside the lock.
+  const std::string encoded = serialize::EncodeDataset(dataset).Write();
+  const uint64_t fingerprint = FingerprintBytes(encoded);
+  // Dedup-hit verification re-encodes the stored dataset, which can take
+  // milliseconds for MB-scale data — never do that under mu_ (it would
+  // stall every catalog operation behind each duplicate open). Pattern:
+  // peek under the lock, verify outside it, re-lock to commit; retry when
+  // the entry changed in between (rare: a concurrent drop + re-intern).
+  for (;;) {
+    std::shared_ptr<const data::Dataset> existing;
+    std::string existing_name;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(fingerprint);
+      if (it == entries_.end()) {
+        Entry entry;
+        entry.name = dataset.name;
+        entry.bytes = encoded.size();
+        entry.retain = retain;
+        entry.dataset =
+            std::make_shared<const data::Dataset>(std::move(dataset));
+        auto [inserted, ok] = entries_.emplace(fingerprint,
+                                               std::move(entry));
+        SISD_CHECK(ok);
+        total_bytes_ += inserted->second.bytes;
+        PinnedDataset out =
+            TouchLocked(&inserted->second, fingerprint, pin,
+                        /*reused=*/false);
+        EnforceBudgetLocked();
+        // The budget policy never evicts pinned entries, but an unpinned
+        // intern larger than the leftover budget can be its own victim —
+        // fail loudly rather than confirm a registration that no longer
+        // exists.
+        if (entries_.find(fingerprint) == entries_.end()) {
+          return Status::Conflict(StrFormat(
+              "dataset '%s' (%zu bytes) does not fit the catalog byte "
+              "budget (%zu bytes)",
+              out.dataset->name.c_str(), out.bytes, config_.max_bytes));
+        }
+        return out;
+      }
+      // The fingerprint is an index, not the identity: a byte-length
+      // mismatch is already proof of a collision; equal lengths are
+      // verified outside the lock.
+      existing_name = it->second.name;
+      if (it->second.bytes == encoded.size()) {
+        existing = it->second.dataset;
+      }
+    }
+    if (existing == nullptr ||
+        serialize::EncodeDataset(*existing).Write() != encoded) {
+      return Status::Conflict(
+          "fingerprint collision: dataset '" + dataset.name +
+          "' hashes to " + FingerprintToHex(fingerprint) +
+          " but its content differs from the registered dataset '" +
+          existing_name + "'");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fingerprint);
+    if (it == entries_.end() || it->second.dataset != existing) {
+      continue;  // dropped or replaced while verifying: retry
+    }
+    it->second.retain = it->second.retain || retain;
+    return TouchLocked(&it->second, fingerprint, pin, /*reused=*/true);
+  }
+}
+
+Result<PinnedDataset> DatasetCatalog::FindByName(const std::string& name,
+                                                 bool pin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Distinct content can legitimately share a name (e.g. two inline-CSV
+  // opens); name-based resolution must then refuse rather than pick one
+  // by map order.
+  auto match = entries_.end();
+  size_t matches = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.name == name) {
+      match = it;
+      ++matches;
+    }
+  }
+  if (matches == 0) {
+    return Status::NotFound("no catalog dataset named '" + name + "'");
+  }
+  if (matches > 1) {
+    return Status::Conflict(StrFormat(
+        "catalog name '%s' is ambiguous (%zu datasets share it); resolve "
+        "by fingerprint instead",
+        name.c_str(), matches));
+  }
+  return TouchLocked(&match->second, match->first, pin, /*reused=*/true);
+}
+
+Result<PinnedDataset> DatasetCatalog::FindByFingerprint(uint64_t fingerprint,
+                                                        bool pin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    return Status::NotFound("no catalog dataset with fingerprint " +
+                            FingerprintToHex(fingerprint));
+  }
+  return TouchLocked(&it->second, fingerprint, pin, /*reused=*/true);
+}
+
+Result<PinnedDataset> DatasetCatalog::FindByNameOrFingerprint(
+    const std::string& spec, bool pin) {
+  Result<PinnedDataset> by_name = FindByName(spec, pin);
+  if (by_name.ok()) return by_name;
+  Result<uint64_t> fingerprint = FingerprintFromHex(spec);
+  if (fingerprint.ok()) {
+    Result<PinnedDataset> by_fp = FindByFingerprint(fingerprint.Value(), pin);
+    if (by_fp.ok()) return by_fp;
+  }
+  return by_name.status();  // the name-based NotFound message
+}
+
+Result<PinnedDataset> DatasetCatalog::MatchEncoded(
+    const std::string& encoded, bool pin) {
+  const uint64_t fingerprint = FingerprintBytes(encoded);
+  // Same peek / verify-outside-the-lock / commit pattern as Intern: the
+  // equality check re-encodes the stored dataset and must not run under
+  // mu_.
+  for (;;) {
+    std::shared_ptr<const data::Dataset> existing;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(fingerprint);
+      if (it == entries_.end() || it->second.bytes != encoded.size()) {
+        return Status::NotFound(
+            "no catalog dataset with this exact content");
+      }
+      existing = it->second.dataset;
+    }
+    if (serialize::EncodeDataset(*existing).Write() != encoded) {
+      return Status::NotFound("no catalog dataset with this exact content");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fingerprint);
+    if (it == entries_.end() || it->second.dataset != existing) {
+      continue;  // dropped or replaced while verifying: retry
+    }
+    return TouchLocked(&it->second, fingerprint, pin, /*reused=*/true);
+  }
+}
+
+Result<PinnedDataset> DatasetCatalog::Resolve(const DatasetRef& ref,
+                                              bool pin) {
+  Result<PinnedDataset> found = FindByFingerprint(ref.fingerprint, pin);
+  if (!found.ok() && !ref.name.empty()) {
+    return Status::NotFound(
+        "catalog cannot resolve dataset_ref {fingerprint: " +
+        FingerprintToHex(ref.fingerprint) + ", name: '" + ref.name +
+        "'}: not loaded (dataset_load it first)");
+  }
+  return found;
+}
+
+void DatasetCatalog::Unpin(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return;
+  if (it->second.pins > 0) --it->second.pins;
+  // Implicitly interned entries live exactly as long as their sessions:
+  // the last close frees the dataset (as per-session copies used to),
+  // while retained (dataset_load/--preload) entries stay cached.
+  if (it->second.pins == 0 && !it->second.retain) {
+    EraseEntryLocked(it);
+  }
+}
+
+Status DatasetCatalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto target = entries_.end();
+  size_t name_matches = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.name == name) {
+      target = it;
+      ++name_matches;
+    }
+  }
+  if (name_matches > 1) {
+    return Status::Conflict(StrFormat(
+        "catalog name '%s' is ambiguous (%zu datasets share it); drop by "
+        "fingerprint instead",
+        name.c_str(), name_matches));
+  }
+  if (target == entries_.end()) {
+    // Fall back to the hex fingerprint form.
+    Result<uint64_t> fingerprint = FingerprintFromHex(name);
+    if (fingerprint.ok()) target = entries_.find(fingerprint.Value());
+  }
+  if (target == entries_.end()) {
+    return Status::NotFound("no catalog dataset named '" + name + "'");
+  }
+  if (target->second.pins > 0) {
+    return Status::Conflict(StrFormat(
+        "dataset '%s' is pinned by %llu open session(s); close them first",
+        target->second.name.c_str(),
+        static_cast<unsigned long long>(target->second.pins)));
+  }
+  EraseEntryLocked(target);
+  return Status::OK();
+}
+
+std::shared_ptr<const search::ConditionPool> DatasetCatalog::PoolFor(
+    const PinnedDataset& pinned, int num_splits, bool include_exclusions) {
+  SISD_CHECK(pinned.dataset != nullptr);
+  return artifacts_.PoolFor(pinned.fingerprint, pinned.dataset->descriptions,
+                            num_splits, include_exclusions);
+}
+
+std::vector<CatalogEntryInfo> DatasetCatalog::List() const {
+  std::vector<CatalogEntryInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [fingerprint, entry] : entries_) {
+      CatalogEntryInfo info;
+      info.name = entry.name;
+      info.fingerprint = fingerprint;
+      info.bytes = entry.bytes;
+      info.sessions = entry.pins;
+      info.rows = entry.dataset->num_rows();
+      info.descriptions = entry.dataset->num_descriptions();
+      info.targets = entry.dataset->num_targets();
+      out.push_back(std::move(info));
+    }
+  }
+  // Pool counts outside the registry lock (the artifact cache has its own).
+  for (CatalogEntryInfo& info : out) {
+    info.pools = artifacts_.PoolCountFor(info.fingerprint);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CatalogEntryInfo& a, const CatalogEntryInfo& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+size_t DatasetCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t DatasetCatalog::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace sisd::catalog

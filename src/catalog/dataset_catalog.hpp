@@ -1,0 +1,197 @@
+/// \file dataset_catalog.hpp
+/// \brief Content-addressed registry of immutable shared datasets — the
+/// "many analysts, one dataset" substrate of the serve layer.
+///
+/// The paper's analyst-in-the-loop dialogue (§II-B) is naturally
+/// many-dialogues-over-one-dataset: the catalog stores each distinct
+/// dataset exactly once, keyed by a stable content fingerprint
+/// (catalog/fingerprint.hpp), and hands out
+/// `shared_ptr<const data::Dataset>` so every session shares the same
+/// immutable instance. Derived search structures (condition pools) are
+/// memoized per fingerprint in an embedded `ArtifactCache`, so opening the
+/// 64th session on a dataset costs O(model state), not
+/// O(dataset + pool build).
+///
+/// Semantics:
+///  - **Content addressing.** `Intern` fingerprints the dataset's snapshot
+///    encoding; re-interning identical content returns the existing entry
+///    (`reused = true`) and moves its registered name not at all — first
+///    registration wins the name. Fingerprint hits are verified by byte
+///    equality of the encodings, so a hash collision is a loud `Conflict`,
+///    never a silent aliasing of two different datasets.
+///  - **Ref counts + lifetime.** Sessions pin the datasets they mine
+///    (including while spilled to snapshots, when they hold no
+///    `shared_ptr`), so `Drop` can refuse to remove a dataset that a live
+///    session would need to restore. Pins are explicit (`pin` flag /
+///    `Unpin`), owned by the serve layer. Entries interned with
+///    `retain = true` (explicit `dataset_load` / `--preload`) stay
+///    registered until dropped; entries interned with `retain = false`
+///    (implicit, by a plain `open`) are removed automatically when their
+///    last pin releases — a long-running server does not accumulate every
+///    dataset ever opened.
+///  - **Memory accounting + LRU.** Each entry's size is its snapshot byte
+///    length. When `max_bytes` is configured, interning past the budget
+///    drops the least-recently-touched *unpinned* entries (logical touch
+///    clock, so behaviour is reproducible for a given operation order);
+///    interning a dataset that cannot fit even after evictions fails
+///    loudly instead of confirming a registration that no longer exists.
+///
+/// Thread-safe: all public methods may be called concurrently.
+
+#ifndef SISD_CATALOG_DATASET_CATALOG_HPP_
+#define SISD_CATALOG_DATASET_CATALOG_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/artifact_cache.hpp"
+#include "catalog/fingerprint.hpp"
+#include "common/status.hpp"
+#include "data/table.hpp"
+
+namespace sisd::catalog {
+
+/// \brief Catalog policy knobs.
+struct CatalogConfig {
+  /// Total serialized bytes kept before LRU-dropping unpinned entries
+  /// (0 = unlimited). Pinned entries never count as droppable.
+  size_t max_bytes = 0;
+};
+
+/// \brief One catalog entry rendered for stats/listing.
+struct CatalogEntryInfo {
+  std::string name;
+  uint64_t fingerprint = 0;
+  size_t bytes = 0;     ///< snapshot-encoded size (memory accounting unit)
+  size_t pools = 0;     ///< cached condition pools for this dataset
+  uint64_t sessions = 0;  ///< live session pins
+  size_t rows = 0;
+  size_t descriptions = 0;
+  size_t targets = 0;
+};
+
+/// \brief A resolved catalog dataset: the shared instance plus its address.
+struct PinnedDataset {
+  std::shared_ptr<const data::Dataset> dataset;
+  uint64_t fingerprint = 0;
+  size_t bytes = 0;
+  bool reused = false;  ///< Intern found identical content already present
+
+  /// The (fingerprint, name) pair `dataset_ref` snapshots store.
+  DatasetRef ref() const {
+    return DatasetRef{fingerprint, dataset ? dataset->name : ""};
+  }
+};
+
+/// \brief The registry. See the file comment for semantics.
+class DatasetCatalog {
+ public:
+  explicit DatasetCatalog(CatalogConfig config = CatalogConfig());
+
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  /// Registers `dataset` (validated, fingerprinted) or dedups against an
+  /// existing entry with byte-identical content. `pin` atomically takes
+  /// one session pin on the entry (pair with `Unpin`); `retain` marks the
+  /// entry as surviving its last unpin (see the lifetime rules above —
+  /// a reuse hit upgrades an implicit entry to retained, never the
+  /// reverse). The dataset's `name` field is its registered name; content
+  /// present under a different name dedups anyway (the content is the
+  /// identity, first name wins). Conflict on a fingerprint collision with
+  /// different bytes, and when the entry cannot fit `max_bytes`.
+  Result<PinnedDataset> Intern(data::Dataset dataset, bool pin, bool retain);
+
+  /// Looks up by registered name; `pin` as in `Intern`. NotFound when no
+  /// entry carries `name`; Conflict when several do (distinct content
+  /// registered under one name — resolve by fingerprint instead).
+  Result<PinnedDataset> FindByName(const std::string& name, bool pin);
+
+  /// Looks up by fingerprint; `pin` as in `Intern`.
+  Result<PinnedDataset> FindByFingerprint(uint64_t fingerprint, bool pin);
+
+  /// Looks up by registered name, falling back to interpreting `spec` as a
+  /// 16-hex-digit fingerprint when no name matches (the resolution rule of
+  /// the `open`/`dataset_drop` protocol verbs).
+  Result<PinnedDataset> FindByNameOrFingerprint(const std::string& spec,
+                                                bool pin);
+
+  /// Finds the entry whose snapshot encoding equals `encoded` byte for
+  /// byte (fingerprint index plus equality verification, so a hash
+  /// collision reads as "not present", never as the wrong dataset). Used
+  /// by inline-snapshot restores to adopt the shared instance safely.
+  Result<PinnedDataset> MatchEncoded(const std::string& encoded, bool pin);
+
+  /// Resolves a snapshot/protocol `dataset_ref`: the fingerprint is the
+  /// identity; `ref.name` only improves the NotFound message.
+  Result<PinnedDataset> Resolve(const DatasetRef& ref, bool pin);
+
+  /// Releases one session pin. Dropping the last pin of a non-retained
+  /// (implicitly interned) entry removes it — and its cached pools — from
+  /// the registry. No-op when the entry is already gone.
+  void Unpin(uint64_t fingerprint);
+
+  /// Removes the entry named `name` (or, when `name` parses as 16 hex
+  /// digits and no entry carries it as a name, the entry with that
+  /// fingerprint) plus its cached pools. Conflict while any session pin is
+  /// live — a spilled session's `dataset_ref` snapshot must stay
+  /// resolvable. Sessions already holding the `shared_ptr` are unaffected
+  /// either way (the data outlives the registry entry).
+  Status Drop(const std::string& name);
+
+  /// The memoized condition pool of `pinned`'s dataset for the given
+  /// search alphabet (built on first use, shared afterwards).
+  std::shared_ptr<const search::ConditionPool> PoolFor(
+      const PinnedDataset& pinned, int num_splits, bool include_exclusions);
+
+  /// All entries, sorted by name then fingerprint (deterministic).
+  std::vector<CatalogEntryInfo> List() const;
+
+  /// Registered entry count.
+  size_t size() const;
+
+  /// Sum of entry byte sizes (the accounting `max_bytes` is checked
+  /// against).
+  size_t total_bytes() const;
+
+  /// The embedded artifact cache (exposed for tests/diagnostics).
+  ArtifactCache& artifacts() { return artifacts_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const data::Dataset> dataset;
+    std::string name;
+    size_t bytes = 0;
+    uint64_t pins = 0;
+    uint64_t last_touch = 0;
+    /// False for implicitly interned entries, which die with their last
+    /// pin; true for dataset_load/--preload entries, which persist.
+    bool retain = false;
+  };
+
+  /// Renders entry -> PinnedDataset, bumping touch/pins (mu_ held).
+  PinnedDataset TouchLocked(Entry* entry, uint64_t fingerprint, bool pin,
+                            bool reused);
+
+  /// Removes one entry and its cached pools (mu_ held).
+  void EraseEntryLocked(std::map<uint64_t, Entry>::iterator it);
+
+  /// Drops least-recently-touched unpinned entries until the byte budget
+  /// fits (mu_ held). Pools of dropped entries are forgotten too.
+  void EnforceBudgetLocked();
+
+  const CatalogConfig config_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;  ///< fingerprint -> entry (ordered)
+  size_t total_bytes_ = 0;
+  uint64_t touch_clock_ = 0;
+  ArtifactCache artifacts_;
+};
+
+}  // namespace sisd::catalog
+
+#endif  // SISD_CATALOG_DATASET_CATALOG_HPP_

@@ -1,0 +1,57 @@
+#include "catalog/fingerprint.hpp"
+
+#include "serialize/snapshot.hpp"
+
+namespace sisd::catalog {
+
+uint64_t FingerprintBytes(const std::string& bytes) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= uint64_t(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+DatasetFingerprint FingerprintDataset(const data::Dataset& dataset) {
+  const std::string encoded = serialize::EncodeDataset(dataset).Write();
+  DatasetFingerprint out;
+  out.value = FingerprintBytes(encoded);
+  out.bytes = encoded.size();
+  return out;
+}
+
+std::string FingerprintToHex(uint64_t fingerprint) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[size_t(i)] = kDigits[fingerprint & 0xf];
+    fingerprint >>= 4;
+  }
+  return out;
+}
+
+Result<uint64_t> FingerprintFromHex(const std::string& hex) {
+  if (hex.size() != 16) {
+    return Status::InvalidArgument(
+        "fingerprint must be 16 hex digits, got '" + hex + "'");
+  }
+  uint64_t value = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument(
+          "fingerprint must be 16 hex digits, got '" + hex + "'");
+    }
+    value = (value << 4) | uint64_t(digit);
+  }
+  return value;
+}
+
+}  // namespace sisd::catalog

@@ -1,0 +1,58 @@
+/// \file fingerprint.hpp
+/// \brief Content fingerprints for datasets: a stable 64-bit hash over the
+/// serialized dataset, used as the catalog's content address.
+///
+/// The fingerprint is computed with FNV-1a over the deterministic snapshot
+/// encoding of the dataset (`serialize::EncodeDataset(...).Write()`), so it
+/// is a pure function of the dataset's content — columns, targets, names —
+/// and identical across processes, platforms and sessions. Equal snapshot
+/// bytes always fingerprint equal; the converse is only probabilistic
+/// (FNV-1a is not collision-free), so the catalog treats the fingerprint
+/// as an *index* and verifies byte equality of the encodings before ever
+/// deduplicating two datasets onto one instance.
+
+#ifndef SISD_CATALOG_FINGERPRINT_HPP_
+#define SISD_CATALOG_FINGERPRINT_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "data/table.hpp"
+
+namespace sisd::catalog {
+
+/// \brief FNV-1a 64-bit hash of a byte string.
+uint64_t FingerprintBytes(const std::string& bytes);
+
+/// \brief A fingerprinted dataset encoding: the hash plus the size of the
+/// serialized form (the catalog's unit of memory accounting).
+struct DatasetFingerprint {
+  uint64_t value = 0;  ///< FNV-1a over the snapshot encoding
+  size_t bytes = 0;    ///< length of the snapshot encoding
+};
+
+/// \brief Serializes `dataset` through the snapshot codec and fingerprints
+/// the resulting bytes.
+DatasetFingerprint FingerprintDataset(const data::Dataset& dataset);
+
+/// \brief Renders a fingerprint as 16 lowercase hex digits (the wire and
+/// display form, e.g. "04c11db7deadbeef").
+std::string FingerprintToHex(uint64_t fingerprint);
+
+/// \brief Parses the 16-hex-digit wire form back; InvalidArgument on any
+/// other shape.
+Result<uint64_t> FingerprintFromHex(const std::string& hex);
+
+/// \brief A by-reference pointer to a catalog dataset, as stored in
+/// `dataset_ref` snapshots and accepted by the `open` protocol verb. The
+/// fingerprint is the identity; the name is advisory (what the dataset was
+/// registered as, kept for diagnostics and error messages).
+struct DatasetRef {
+  uint64_t fingerprint = 0;
+  std::string name;
+};
+
+}  // namespace sisd::catalog
+
+#endif  // SISD_CATALOG_FINGERPRINT_HPP_

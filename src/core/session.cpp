@@ -34,8 +34,26 @@ Result<MiningSession> MiningSession::Create(data::Dataset dataset,
 
 Result<MiningSession> MiningSession::Create(
     std::shared_ptr<const data::Dataset> dataset, MinerConfig config) {
+  std::shared_ptr<const search::ConditionPool> pool;
+  if (dataset != nullptr) {
+    pool = std::make_shared<const search::ConditionPool>(
+        search::ConditionPool::Build(dataset->descriptions,
+                                     config.search.num_split_points,
+                                     config.search.include_exclusions));
+  }
+  return Create(std::move(dataset), std::move(config), std::move(pool),
+                std::nullopt);
+}
+
+Result<MiningSession> MiningSession::Create(
+    std::shared_ptr<const data::Dataset> dataset, MinerConfig config,
+    std::shared_ptr<const search::ConditionPool> pool,
+    std::optional<catalog::DatasetRef> origin) {
   if (!dataset) {
     return Status::InvalidArgument("session needs a non-null dataset");
+  }
+  if (!pool) {
+    return Status::InvalidArgument("session needs a non-null condition pool");
   }
   SISD_RETURN_NOT_OK(dataset->Validate());
   if (dataset->num_rows() < 2) {
@@ -51,11 +69,10 @@ Result<MiningSession> MiningSession::Create(
                                                    config.prior_ridge);
   if (!model.ok()) return model.status();
 
-  search::ConditionPool pool = search::ConditionPool::Build(
-      dataset->descriptions, config.search.num_split_points);
   model::PatternAssimilator assimilator(std::move(model).MoveValue());
   return MiningSession(std::move(dataset), std::move(config),
-                       std::move(pool), std::move(assimilator));
+                       std::move(pool), std::move(assimilator),
+                       std::move(origin));
 }
 
 Result<IterationResult> MiningSession::MineNext() {
@@ -66,7 +83,7 @@ Result<IterationResult> MiningSession::MineNext() {
   search::SiLocationEvaluator evaluator(assimilator_.model(),
                                         dataset_->targets, config_.dl);
   search::SearchResult search_result =
-      search::BeamSearch(dataset_->descriptions, pool_, config_.search,
+      search::BeamSearch(dataset_->descriptions, *pool_, config_.search,
                          evaluator, thread_pool_.get());
   if (search_result.top.empty()) {
     return Status::NotFound(
@@ -222,11 +239,18 @@ Result<ScoredSpreadPattern> MiningSession::FindSpreadPattern(
   return out;
 }
 
-std::string MiningSession::SaveToString() const {
+std::string MiningSession::SaveToString(SnapshotForm form) const {
   JsonValue out = JsonValue::Object();
   out.Set("format", JsonValue::Str(kSessionFormatTag));
   out.Set("schema_version", JsonValue::Int(kSessionSchemaVersion));
-  out.Set("dataset", serialize::EncodeDataset(*dataset_));
+  if (form == SnapshotForm::kDatasetRef && origin_.has_value()) {
+    // Additive schema: `dataset_ref` replaces `dataset` for sessions with
+    // a catalog origin; everything else is unchanged. A session without an
+    // origin has no catalog to point at, so it falls back to inline.
+    out.Set("dataset_ref", EncodeDatasetRef(*origin_));
+  } else {
+    out.Set("dataset", serialize::EncodeDataset(*dataset_));
+  }
   out.Set("config", EncodeMinerConfig(config_));
   out.Set("assimilator", serialize::EncodeAssimilator(assimilator_));
   JsonValue history = JsonValue::Array();
@@ -242,7 +266,7 @@ Status MiningSession::Save(const std::string& path) const {
 }
 
 Result<MiningSession> MiningSession::RestoreFromString(
-    const std::string& text) {
+    const std::string& text, catalog::DatasetCatalog* catalog) {
   SISD_ASSIGN_OR_RETURN(root, JsonValue::Parse(text));
   SISD_ASSIGN_OR_RETURN(format_json, root.Get("format"));
   SISD_ASSIGN_OR_RETURN(format, format_json->GetString());
@@ -259,29 +283,83 @@ Result<MiningSession> MiningSession::RestoreFromString(
                   static_cast<long long>(kSessionSchemaVersion)));
   }
 
-  SISD_ASSIGN_OR_RETURN(dataset_json, root.Get("dataset"));
-  SISD_ASSIGN_OR_RETURN(dataset, serialize::DecodeDataset(*dataset_json));
   SISD_ASSIGN_OR_RETURN(config_json, root.Get("config"));
   SISD_ASSIGN_OR_RETURN(config, DecodeMinerConfig(*config_json));
+
+  // The dataset is stored inline (self-contained snapshot) or as a
+  // `dataset_ref` the catalog resolves; a catalog also lets an inline
+  // snapshot adopt the shared instance when the content fingerprint
+  // matches a registered dataset.
+  const JsonValue* dataset_json = root.Find("dataset");
+  const JsonValue* ref_json = root.Find("dataset_ref");
+  if ((dataset_json != nullptr) == (ref_json != nullptr)) {
+    return Status::InvalidArgument(
+        "snapshot must store exactly one of 'dataset' and 'dataset_ref'");
+  }
+  std::shared_ptr<const data::Dataset> shared_dataset;
+  std::optional<catalog::DatasetRef> origin;
+  if (ref_json != nullptr) {
+    SISD_ASSIGN_OR_RETURN(ref, DecodeDatasetRef(*ref_json));
+    if (catalog == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot stores dataset_ref {fingerprint: " +
+          catalog::FingerprintToHex(ref.fingerprint) + ", name: '" +
+          ref.name + "'} but no catalog was given to resolve it");
+    }
+    SISD_ASSIGN_OR_RETURN(pinned, catalog->Resolve(ref, /*pin=*/false));
+    shared_dataset = pinned.dataset;
+    origin = pinned.ref();
+  } else {
+    SISD_ASSIGN_OR_RETURN(dataset, serialize::DecodeDataset(*dataset_json));
+    if (catalog != nullptr) {
+      // Byte-verified content match: a fingerprint collision reads as
+      // "not in the catalog" and keeps the private decoded copy.
+      Result<catalog::PinnedDataset> known = catalog->MatchEncoded(
+          serialize::EncodeDataset(dataset).Write(), /*pin=*/false);
+      if (known.ok()) {
+        // Same content already registered: share it (and its pool below)
+        // instead of keeping the private decoded copy.
+        shared_dataset = known.Value().dataset;
+        origin = known.Value().ref();
+      }
+    }
+    if (shared_dataset == nullptr) {
+      shared_dataset =
+          std::make_shared<const data::Dataset>(std::move(dataset));
+    }
+  }
+
   SISD_ASSIGN_OR_RETURN(assimilator_json, root.Get("assimilator"));
   SISD_ASSIGN_OR_RETURN(assimilator,
                         serialize::DecodeAssimilator(*assimilator_json));
-  if (assimilator.model().num_rows() != dataset.num_rows() ||
-      assimilator.model().dim() != dataset.num_targets()) {
+  if (assimilator.model().num_rows() != shared_dataset->num_rows() ||
+      assimilator.model().dim() != shared_dataset->num_targets()) {
     return Status::InvalidArgument(
         "snapshot model shape disagrees with its dataset");
   }
 
-  // Derived state is rebuilt, not stored: the condition pool is a pure
-  // function of (descriptions, num_split_points), and per-group
-  // factorization caches came back with the model (only caches that were
-  // cold at save time are recomputed lazily).
-  auto shared_dataset =
-      std::make_shared<const data::Dataset>(std::move(dataset));
-  search::ConditionPool pool = search::ConditionPool::Build(
-      shared_dataset->descriptions, config.search.num_split_points);
+  // Derived state is rebuilt or fetched, never stored: the condition pool
+  // is a pure function of (descriptions, num_split_points,
+  // include_exclusions) — catalog-known datasets reuse the memoized shared
+  // pool and skip construction entirely — and per-group factorization
+  // caches came back with the model (only caches that were cold at save
+  // time are recomputed lazily).
+  std::shared_ptr<const search::ConditionPool> pool;
+  if (origin.has_value() && catalog != nullptr) {
+    catalog::PinnedDataset pinned;
+    pinned.dataset = shared_dataset;
+    pinned.fingerprint = origin->fingerprint;
+    pool = catalog->PoolFor(pinned, config.search.num_split_points,
+                            config.search.include_exclusions);
+  } else {
+    pool = std::make_shared<const search::ConditionPool>(
+        search::ConditionPool::Build(shared_dataset->descriptions,
+                                     config.search.num_split_points,
+                                     config.search.include_exclusions));
+  }
   MiningSession session(std::move(shared_dataset), std::move(config),
-                        std::move(pool), std::move(assimilator));
+                        std::move(pool), std::move(assimilator),
+                        std::move(origin));
 
   SISD_ASSIGN_OR_RETURN(history_json, root.Get("history"));
   if (!history_json->is_array()) {
@@ -295,9 +373,10 @@ Result<MiningSession> MiningSession::RestoreFromString(
   return session;
 }
 
-Result<MiningSession> MiningSession::Restore(const std::string& path) {
+Result<MiningSession> MiningSession::Restore(
+    const std::string& path, catalog::DatasetCatalog* catalog) {
   SISD_ASSIGN_OR_RETURN(text, serialize::ReadTextFile(path));
-  return RestoreFromString(text);
+  return RestoreFromString(text, catalog);
 }
 
 }  // namespace sisd::core

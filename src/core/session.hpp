@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/dataset_catalog.hpp"
 #include "common/status.hpp"
 #include "data/table.hpp"
 #include "model/assimilator.hpp"
@@ -102,6 +103,19 @@ inline constexpr int64_t kSessionSchemaVersion = 1;
 /// \brief The `format` tag identifying session snapshot files.
 inline constexpr const char* kSessionFormatTag = "sisd-session";
 
+/// \brief How `SaveToString` stores the dataset.
+enum class SnapshotForm {
+  /// Embed the full dataset (the default: snapshots are self-contained
+  /// and portable to processes without a catalog).
+  kInlineDataset,
+  /// Store only `dataset_ref {fingerprint, name}` (requires the session to
+  /// have a catalog origin; falls back to inline otherwise). Restoring
+  /// needs a catalog that can resolve the fingerprint — the serve layer
+  /// spills this way so evicted sessions share the catalog's dataset and
+  /// condition pool on restore instead of rebuilding private copies.
+  kDatasetRef,
+};
+
 /// \brief A durable, resumable iterative mining session.
 class MiningSession {
  public:
@@ -113,6 +127,19 @@ class MiningSession {
   /// Builds a session sharing ownership of `dataset` (must be non-null).
   static Result<MiningSession> Create(
       std::shared_ptr<const data::Dataset> dataset, MinerConfig config);
+
+  /// Builds a session over a catalog-shared dataset and a prebuilt shared
+  /// condition pool (must match the dataset and `config.search`'s
+  /// num_split_points / include_exclusions — the catalog's `PoolFor`
+  /// guarantees this). The session records `origin` so `SaveToString`
+  /// with `SnapshotForm::kDatasetRef` can address the dataset by
+  /// fingerprint instead of embedding it. This is how the serve layer
+  /// opens sessions: the marginal cost per extra session on one dataset is
+  /// the model state only — no dataset copy, no pool build.
+  static Result<MiningSession> Create(
+      std::shared_ptr<const data::Dataset> dataset, MinerConfig config,
+      std::shared_ptr<const search::ConditionPool> pool,
+      std::optional<catalog::DatasetRef> origin);
 
   /// Runs one mining iteration and assimilates what it finds.
   Result<IterationResult> MineNext();
@@ -143,8 +170,10 @@ class MiningSession {
   /// Serializes the full session state (dataset, config, model + initial
   /// model + constraints with cached factorizations, history) as versioned
   /// JSON text. Deterministic: the same session always produces the same
-  /// bytes.
-  std::string SaveToString() const;
+  /// bytes. `form` selects how the dataset is stored (inline by default;
+  /// see `SnapshotForm`).
+  std::string SaveToString(
+      SnapshotForm form = SnapshotForm::kInlineDataset) const;
 
   /// Writes `SaveToString()` to `path`.
   Status Save(const std::string& path) const;
@@ -153,10 +182,22 @@ class MiningSession {
   /// version, restores the dataset and model state bit-identically, and
   /// rewarms the derived search structures (condition pool, per-group
   /// factorization caches) that are rebuilt rather than stored.
-  static Result<MiningSession> RestoreFromString(const std::string& text);
+  ///
+  /// With a `catalog`:
+  ///  - `dataset_ref` snapshots resolve their dataset through it (without a
+  ///    catalog they fail with InvalidArgument — the data is not in the
+  ///    snapshot);
+  ///  - inline snapshots whose dataset fingerprint matches a catalog entry
+  ///    adopt the catalog's shared instance and memoized condition pool
+  ///    instead of keeping the decoded private copy — restore then skips
+  ///    pool construction entirely.
+  /// Mining output is byte-identical in all cases.
+  static Result<MiningSession> RestoreFromString(
+      const std::string& text, catalog::DatasetCatalog* catalog = nullptr);
 
   /// Reads and restores a snapshot file.
-  static Result<MiningSession> Restore(const std::string& path);
+  static Result<MiningSession> Restore(
+      const std::string& path, catalog::DatasetCatalog* catalog = nullptr);
 
   /// @}
 
@@ -201,7 +242,23 @@ class MiningSession {
   const MinerConfig& config() const { return config_; }
 
   /// The condition pool (for diagnostics and ablation benches).
-  const search::ConditionPool& condition_pool() const { return pool_; }
+  const search::ConditionPool& condition_pool() const { return *pool_; }
+
+  /// Shared ownership handle to the (immutable) condition pool. Sessions
+  /// opened through a catalog share one instance per
+  /// (dataset, num_splits, include_exclusions).
+  const std::shared_ptr<const search::ConditionPool>& shared_condition_pool()
+      const {
+    return pool_;
+  }
+
+  /// Where the dataset came from when the session was opened through a
+  /// catalog (or restored through one that knew the dataset); empty for
+  /// sessions owning a private copy. Drives the `dataset_ref` snapshot
+  /// form.
+  const std::optional<catalog::DatasetRef>& dataset_origin() const {
+    return origin_;
+  }
 
   /// History of all iterations run so far (restored sessions carry the
   /// full history of the saved session).
@@ -243,12 +300,15 @@ class MiningSession {
 
  private:
   MiningSession(std::shared_ptr<const data::Dataset> dataset,
-                MinerConfig config, search::ConditionPool pool,
-                model::PatternAssimilator assimilator)
+                MinerConfig config,
+                std::shared_ptr<const search::ConditionPool> pool,
+                model::PatternAssimilator assimilator,
+                std::optional<catalog::DatasetRef> origin)
       : dataset_(std::move(dataset)),
         config_(std::move(config)),
         pool_(std::move(pool)),
-        assimilator_(std::move(assimilator)) {}
+        assimilator_(std::move(assimilator)),
+        origin_(std::move(origin)) {}
 
   /// Stamps `last_activity_` now.
   void Touch() { last_activity_ = std::chrono::steady_clock::now(); }
@@ -261,8 +321,12 @@ class MiningSession {
 
   std::shared_ptr<const data::Dataset> dataset_;
   MinerConfig config_;
-  search::ConditionPool pool_;
+  /// Never null; shared with the catalog's artifact cache for
+  /// catalog-opened sessions, privately owned otherwise. Immutable either
+  /// way, so sharing is safe across threads and clones.
+  std::shared_ptr<const search::ConditionPool> pool_;
   model::PatternAssimilator assimilator_;
+  std::optional<catalog::DatasetRef> origin_;
   std::vector<IterationResult> history_;
   std::shared_ptr<search::ThreadPool> thread_pool_;
   std::chrono::steady_clock::time_point last_activity_ =

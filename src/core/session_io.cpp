@@ -33,6 +33,7 @@ JsonValue EncodeSearchConfig(const search::SearchConfig& config) {
   out.Set("beam_width", JsonValue::Int(config.beam_width));
   out.Set("max_depth", JsonValue::Int(config.max_depth));
   out.Set("num_split_points", JsonValue::Int(config.num_split_points));
+  out.Set("include_exclusions", JsonValue::Bool(config.include_exclusions));
   out.Set("top_k", JsonValue::Int(int64_t(config.top_k)));
   out.Set("min_coverage", JsonValue::Int(int64_t(config.min_coverage)));
   out.Set("max_coverage_fraction",
@@ -51,6 +52,17 @@ Result<search::SearchConfig> DecodeSearchConfig(const JsonValue& json) {
   out.max_depth = int(max_depth);
   SISD_ASSIGN_OR_RETURN(splits, GetIntField(json, "num_split_points"));
   out.num_split_points = int(splits);
+  // Additive schema field. Snapshots written before the flag existed came
+  // from builds whose pool unconditionally emitted != exclusions, so an
+  // absent field must decode to `true` — otherwise a restored session
+  // would mine over a smaller alphabet than the session that saved it,
+  // breaking the byte-identical-resume guarantee. New snapshots always
+  // carry the field (false by default: the paper's Cortana alphabet).
+  out.include_exclusions = true;
+  if (const JsonValue* exclusions = json.Find("include_exclusions")) {
+    SISD_ASSIGN_OR_RETURN(v, exclusions->GetBool());
+    out.include_exclusions = v;
+  }
   SISD_ASSIGN_OR_RETURN(top_k, GetSizeField(json, "top_k"));
   out.top_k = top_k;
   SISD_ASSIGN_OR_RETURN(min_coverage, GetSizeField(json, "min_coverage"));
@@ -244,6 +256,29 @@ Result<MinerConfig> DecodeMinerConfig(const JsonValue& json) {
   }
   SISD_ASSIGN_OR_RETURN(ridge, GetDoubleField(json, "prior_ridge"));
   out.prior_ridge = ridge;
+  return out;
+}
+
+JsonValue EncodeDatasetRef(const catalog::DatasetRef& ref) {
+  JsonValue out = JsonValue::Object();
+  out.Set("fingerprint",
+          JsonValue::Str(catalog::FingerprintToHex(ref.fingerprint)));
+  out.Set("name", JsonValue::Str(ref.name));
+  return out;
+}
+
+Result<catalog::DatasetRef> DecodeDatasetRef(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("dataset_ref must be an object");
+  }
+  catalog::DatasetRef out;
+  SISD_ASSIGN_OR_RETURN(fingerprint_json, json.Get("fingerprint"));
+  SISD_ASSIGN_OR_RETURN(hex, fingerprint_json->GetString());
+  SISD_ASSIGN_OR_RETURN(fingerprint, catalog::FingerprintFromHex(hex));
+  out.fingerprint = fingerprint;
+  SISD_ASSIGN_OR_RETURN(name_json, json.Get("name"));
+  SISD_ASSIGN_OR_RETURN(name, name_json->GetString());
+  out.name = std::move(name);
   return out;
 }
 

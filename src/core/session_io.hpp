@@ -22,6 +22,14 @@ serialize::JsonValue EncodeMinerConfig(const MinerConfig& config);
 Result<MinerConfig> DecodeMinerConfig(const serialize::JsonValue& json);
 /// @}
 
+/// \name Dataset-ref codec: the `dataset_ref {fingerprint, name}` snapshot
+/// form (fingerprint as 16 hex digits).
+/// @{
+serialize::JsonValue EncodeDatasetRef(const catalog::DatasetRef& ref);
+Result<catalog::DatasetRef> DecodeDatasetRef(
+    const serialize::JsonValue& json);
+/// @}
+
 /// \name Scored pattern + iteration codecs.
 /// @{
 serialize::JsonValue EncodeScoredLocation(const ScoredLocationPattern& p);

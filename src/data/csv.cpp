@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
+#include <istream>
 #include <set>
-#include <sstream>
 
 #include "common/strings.hpp"
 
@@ -71,69 +71,74 @@ std::string EscapeCsvField(const std::string& field, char sep) {
   return out;
 }
 
-}  // namespace
+/// Incremental line-fed CSV parser: the single implementation behind
+/// `ReadCsvText` (whole string in memory) and `ReadCsvStream` (fixed-size
+/// chunks). Feeding it the same line sequence yields the same table, which
+/// is what keeps the streaming and whole-file parses byte-for-byte equal.
+class CsvLineParser {
+ public:
+  explicit CsvLineParser(const CsvOptions& options) : options_(options) {}
 
-Result<DataTable> ReadCsvText(const std::string& text,
-                              const CsvOptions& options) {
-  std::vector<std::string> lines;
-  {
-    std::string current;
-    for (char c : text) {
-      if (c == '\n') {
-        if (!current.empty() && current.back() == '\r') current.pop_back();
-        lines.push_back(current);
-        current.clear();
+  /// Consumes one record line (newline and any preceding '\r' already
+  /// stripped). The first line carries the header (or, without one, sizes
+  /// the synthesized colN names and doubles as the first data row).
+  Status ConsumeLine(const std::string& line) {
+    ++line_number_;
+    if (!have_header_) {
+      SISD_ASSIGN_OR_RETURN(first_record,
+                            SplitCsvRecord(line, options_.separator));
+      if (options_.has_header) {
+        header_ = std::move(first_record);
       } else {
-        current += c;
+        header_.reserve(first_record.size());
+        for (size_t j = 0; j < first_record.size(); ++j) {
+          header_.push_back(StrFormat("col%zu", j));
+        }
       }
+      cells_.resize(header_.size());
+      have_header_ = true;
+      if (options_.has_header) return Status::OK();
+      return ConsumeDataLine(line);
     }
-    if (!current.empty()) lines.push_back(current);
+    return ConsumeDataLine(line);
   }
-  // Drop fully blank trailing lines.
-  while (!lines.empty() && TrimWhitespace(lines.back()).empty()) {
-    lines.pop_back();
-  }
-  if (lines.empty()) return Status::IOError("empty CSV input");
 
-  size_t first_data_row = 0;
-  std::vector<std::string> header;
-  {
-    SISD_ASSIGN_OR_RETURN(first_record,
-                          SplitCsvRecord(lines[0], options.separator));
-    if (options.has_header) {
-      header = first_record;
-      first_data_row = 1;
-    } else {
-      header.reserve(first_record.size());
-      for (size_t j = 0; j < first_record.size(); ++j) {
-        header.push_back(StrFormat("col%zu", j));
-      }
-    }
-  }
-  const size_t num_cols = header.size();
+  /// Validates completeness and runs type inference over the collected
+  /// cells, producing the table.
+  Result<DataTable> Finish() const;
 
-  std::vector<std::vector<std::string>> cells(num_cols);
-  for (size_t li = first_data_row; li < lines.size(); ++li) {
-    if (TrimWhitespace(lines[li]).empty()) continue;
+ private:
+  Status ConsumeDataLine(const std::string& line) {
+    if (TrimWhitespace(line).empty()) return Status::OK();  // blank: skip
     SISD_ASSIGN_OR_RETURN(record,
-                          SplitCsvRecord(lines[li], options.separator));
-    if (record.size() != num_cols) {
+                          SplitCsvRecord(line, options_.separator));
+    if (record.size() != cells_.size()) {
       return Status::IOError(
-          StrFormat("line %zu has %zu fields, expected %zu", li + 1,
-                    record.size(), num_cols));
+          StrFormat("line %zu has %zu fields, expected %zu", line_number_,
+                    record.size(), cells_.size()));
     }
-    bool any_missing = false;
     for (const std::string& field : record) {
-      if (IsMissing(field, options)) {
-        any_missing = true;
-        break;
-      }
+      if (IsMissing(field, options_)) return Status::OK();  // complete-case
     }
-    if (any_missing) continue;  // complete-case analysis
-    for (size_t j = 0; j < num_cols; ++j) {
-      cells[j].push_back(record[j]);
+    for (size_t j = 0; j < cells_.size(); ++j) {
+      cells_[j].push_back(std::move(record[j]));
     }
+    return Status::OK();
   }
+
+  const CsvOptions& options_;
+  size_t line_number_ = 0;  ///< 1-based, counts every consumed line
+  bool have_header_ = false;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+Result<DataTable> CsvLineParser::Finish() const {
+  if (!have_header_) return Status::IOError("empty CSV input");
+  const size_t num_cols = header_.size();
+  const std::vector<std::vector<std::string>>& cells = cells_;
+  const std::vector<std::string>& header = header_;
+  const CsvOptions& options = options_;
   if (cells.empty() || cells[0].empty()) {
     return Status::IOError("CSV has no complete data rows");
   }
@@ -206,15 +211,67 @@ Result<DataTable> ReadCsvText(const std::string& text,
   return table;
 }
 
+}  // namespace
+
+Result<DataTable> ReadCsvText(const std::string& text,
+                              const CsvOptions& options) {
+  CsvLineParser parser(options);
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!current.empty() && current.back() == '\r') current.pop_back();
+      SISD_RETURN_NOT_OK(parser.ConsumeLine(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  // A last line without a terminating newline (kept verbatim: no \r strip,
+  // matching the historical whole-file parse).
+  if (!current.empty()) {
+    SISD_RETURN_NOT_OK(parser.ConsumeLine(current));
+  }
+  return parser.Finish();
+}
+
+Result<DataTable> ReadCsvStream(std::istream& in,
+                                const CsvOptions& options) {
+  CsvLineParser parser(options);
+  std::string pending;  // partial line spanning chunk boundaries
+  std::vector<char> chunk(kCsvChunkBytes);
+  for (;;) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const size_t got = static_cast<size_t>(in.gcount());
+    if (got == 0) {
+      if (in.bad()) return Status::IOError("CSV stream read failed");
+      break;
+    }
+    size_t start = 0;
+    for (size_t i = 0; i < got; ++i) {
+      if (chunk[i] != '\n') continue;
+      pending.append(chunk.data() + start, i - start);
+      if (!pending.empty() && pending.back() == '\r') pending.pop_back();
+      SISD_RETURN_NOT_OK(parser.ConsumeLine(pending));
+      pending.clear();
+      start = i + 1;
+    }
+    pending.append(chunk.data() + start, got - start);
+    if (in.eof()) break;
+    if (in.bad()) return Status::IOError("CSV stream read failed");
+  }
+  if (!pending.empty()) {
+    SISD_RETURN_NOT_OK(parser.ConsumeLine(pending));
+  }
+  return parser.Finish();
+}
+
 Result<DataTable> ReadCsvFile(const std::string& path,
                               const CsvOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError(StrFormat("cannot open '%s'", path.c_str()));
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ReadCsvText(buffer.str(), options);
+  return ReadCsvStream(in, options);
 }
 
 std::string WriteCsvText(const DataTable& table, char separator) {

@@ -5,6 +5,13 @@
 /// categorical; low-cardinality 0/1 columns become binary), and explicit
 /// per-column overrides. This is the "data handling boilerplate" the
 /// reproduction needs so users can point the miner at their own files.
+///
+/// All read entry points share one line-level parser, so they agree byte
+/// for byte: `ReadCsvText` walks an in-memory string, while
+/// `ReadCsvStream`/`ReadCsvFile` consume their input in fixed-size chunks
+/// (`kCsvChunkBytes`) and never buffer the whole file — large ingests
+/// (catalog `--preload`, the `dataset_load` verb) hold only the parsed
+/// cells plus one chunk.
 
 #ifndef SISD_DATA_CSV_HPP_
 #define SISD_DATA_CSV_HPP_
@@ -32,6 +39,10 @@ struct CsvOptions {
   std::vector<std::string> na_values = {"", "NA", "nan", "NaN", "?"};
 };
 
+/// \brief Chunk size of the streaming reader (one read(2)-ish unit; the
+/// parser holds at most one partial line across chunk boundaries).
+inline constexpr size_t kCsvChunkBytes = 64 * 1024;
+
 /// \brief Parses CSV text into a DataTable.
 ///
 /// Columns where every non-missing value parses as a double become numeric
@@ -40,7 +51,13 @@ struct CsvOptions {
 Result<DataTable> ReadCsvText(const std::string& text,
                               const CsvOptions& options = CsvOptions());
 
-/// \brief Reads a CSV file into a DataTable.
+/// \brief Reads CSV from a stream in `kCsvChunkBytes` chunks without
+/// buffering the whole input. Result is byte-for-byte identical to
+/// `ReadCsvText` over the same bytes.
+Result<DataTable> ReadCsvStream(std::istream& in,
+                                const CsvOptions& options = CsvOptions());
+
+/// \brief Reads a CSV file into a DataTable (chunked via `ReadCsvStream`).
 Result<DataTable> ReadCsvFile(const std::string& path,
                               const CsvOptions& options = CsvOptions());
 

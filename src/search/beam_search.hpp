@@ -34,6 +34,11 @@ struct SearchConfig {
   int beam_width = 40;       ///< candidates kept per level
   int max_depth = 4;         ///< maximum number of conditions
   int num_split_points = 4;  ///< numeric split points (1/5..4/5 percentiles)
+  /// Emit `!=` set-exclusion conditions (§II-A) for categorical attributes
+  /// with at least three levels. Off by default: the paper's experiments
+  /// use the Cortana alphabet (`<=`, `>=`, `=` only), and the default must
+  /// keep reproducing them byte for byte.
+  bool include_exclusions = false;
   size_t top_k = 150;        ///< size of the global result list
   size_t min_coverage = 2;   ///< minimum subgroup size
   /// Maximum subgroup size as a fraction of the data (1.0 = no limit other

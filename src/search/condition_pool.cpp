@@ -24,7 +24,8 @@ struct ExtensionHash {
 }  // namespace
 
 ConditionPool ConditionPool::Build(const data::DataTable& table,
-                                   int num_splits) {
+                                   int num_splits,
+                                   bool include_exclusions) {
   ConditionPool pool;
   const size_t n = table.num_rows();
   // Dedup by extension: quantile ties on low-cardinality numeric columns
@@ -49,10 +50,11 @@ ConditionPool ConditionPool::Build(const data::DataTable& table,
         candidates.push_back(
             pattern::Condition::Equals(j, static_cast<int32_t>(level)));
       }
-      // Set-exclusion conditions (§II-A) are only non-redundant when the
-      // attribute has at least three levels (for binary attributes
-      // `!= v` equals `== !v`).
-      if (col.NumLevels() >= 3) {
+      // Set-exclusion conditions (§II-A) are opt-in (the paper's Cortana
+      // alphabet omits them) and only non-redundant when the attribute has
+      // at least three levels (for binary attributes `!= v` equals
+      // `== !v`).
+      if (include_exclusions && col.NumLevels() >= 3) {
         for (size_t level = 0; level < col.NumLevels(); ++level) {
           candidates.push_back(
               pattern::Condition::NotEquals(j, static_cast<int32_t>(level)));

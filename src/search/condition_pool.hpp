@@ -5,7 +5,11 @@
 /// Following the paper's Cortana settings (§III): numeric (and ordinal)
 /// attributes contribute `<=` and `>=` conditions at `num_splits` quantile
 /// split points (default 4: the 1/5..4/5 percentiles); categorical and
-/// binary attributes contribute one equality condition per level.
+/// binary attributes contribute one equality condition per level. The full
+/// description language of §II-A also has set exclusion (`!=`); opting in
+/// via `include_exclusions` adds one exclusion per level for categorical
+/// attributes with at least three levels (for binary attributes `!= v`
+/// already equals `== !v`).
 
 #ifndef SISD_SEARCH_CONDITION_POOL_HPP_
 #define SISD_SEARCH_CONDITION_POOL_HPP_
@@ -22,13 +26,16 @@ namespace sisd::search {
 class ConditionPool {
  public:
   /// Builds the pool for `table` with `num_splits` quantile split points per
-  /// numeric attribute. Conditions that match no row or all rows are kept
-  /// out of the pool (they cannot change any extension), and conditions
-  /// whose extensions are bit-identical to an earlier condition's are
-  /// dropped (quantile ties on low-cardinality numeric columns would
-  /// otherwise add duplicate candidates scored at every beam level; the
-  /// first condition with a given extension wins).
-  static ConditionPool Build(const data::DataTable& table, int num_splits = 4);
+  /// numeric attribute; `include_exclusions` opts in to `!=` conditions for
+  /// categorical attributes with three or more levels (default: the paper's
+  /// Cortana alphabet, no exclusions). Conditions that match no row or all
+  /// rows are kept out of the pool (they cannot change any extension), and
+  /// conditions whose extensions are bit-identical to an earlier
+  /// condition's are dropped (quantile ties on low-cardinality numeric
+  /// columns would otherwise add duplicate candidates scored at every beam
+  /// level; the first condition with a given extension wins).
+  static ConditionPool Build(const data::DataTable& table, int num_splits = 4,
+                             bool include_exclusions = false);
 
   /// Number of conditions in the pool.
   size_t size() const { return conditions_.size(); }

@@ -5,8 +5,10 @@
 /// One request per line, one response per line. A request is a flat JSON
 /// object carrying three reserved keys — `id` (optional client-chosen
 /// correlation integer), `verb` (required), `session` (the session name,
-/// required by every verb except `stats`) — plus verb-specific parameters,
-/// which the codec collects into `params` without interpreting them.
+/// required by every verb except `stats` and the catalog verbs
+/// `dataset_load`/`dataset_list`/`dataset_drop`) — plus verb-specific
+/// parameters, which the codec collects into `params` without
+/// interpreting them.
 /// A response echoes `id`/`verb`/`session` and carries either
 /// `"ok": true` with a `result` object or `"ok": false` with an
 /// `error: {code, message}` object (codes are `StatusCodeToString` names).
@@ -31,7 +33,7 @@ struct ProtocolRequest {
   int64_t id = 0;
   bool has_id = false;
   /// The operation: open | mine | assimilate | history | export | save |
-  /// evict | close | stats.
+  /// evict | close | stats | dataset_load | dataset_list | dataset_drop.
   std::string verb;
   /// Target session name ("" when absent, e.g. for `stats`).
   std::string session;

@@ -3,6 +3,8 @@
 #include <optional>
 #include <utility>
 
+#include "catalog/dataset_catalog.hpp"
+#include "catalog/fingerprint.hpp"
 #include "common/strings.hpp"
 #include "data/csv.hpp"
 #include "datagen/scenarios.hpp"
@@ -99,6 +101,9 @@ Status ApplyConfigOverrides(const JsonValue& json,
     } else if (key == "spread_sparsity") {
       SISD_ASSIGN_OR_RETURN(v, value.GetInt());
       config->spread_sparsity = static_cast<int>(v);
+    } else if (key == "exclusions") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetBool());
+      config->search.include_exclusions = v;
     } else {
       return Status::InvalidArgument("unknown config key '" + key + "'");
     }
@@ -106,9 +111,11 @@ Status ApplyConfigOverrides(const JsonValue& json,
   return Status::OK();
 }
 
-/// Resolves the dataset of an `open` request: a built-in scenario, a CSV
-/// file, or inline CSV text.
-Result<data::Dataset> DatasetFromParams(const ProtocolRequest& request) {
+/// Resolves the dataset of an `open` / `dataset_load` request: a built-in
+/// scenario, a CSV file (read through the streaming chunked reader), or
+/// inline CSV text. `verb` only shapes the error message.
+Result<data::Dataset> DatasetFromParams(const ProtocolRequest& request,
+                                        const char* verb) {
   SISD_ASSIGN_OR_RETURN(scenario, ParamString(request, "scenario"));
   SISD_ASSIGN_OR_RETURN(csv_path, ParamString(request, "csv_path"));
   SISD_ASSIGN_OR_RETURN(csv_text, ParamString(request, "csv_text"));
@@ -116,7 +123,8 @@ Result<data::Dataset> DatasetFromParams(const ProtocolRequest& request) {
                       int(csv_text.has_value());
   if (sources != 1) {
     return Status::InvalidArgument(
-        "open needs exactly one of 'scenario', 'csv_path', 'csv_text'");
+        std::string(verb) +
+        " needs exactly one of 'scenario', 'csv_path', 'csv_text'");
   }
   if (scenario.has_value()) {
     return datagen::MakeScenarioDataset(*scenario);
@@ -199,11 +207,27 @@ JsonValue EncodeSessionInfo(const SessionInfo& info) {
 Result<JsonValue> DoOpen(SessionManager& manager,
                          const ProtocolRequest& request) {
   SISD_RETURN_NOT_OK(RequireSession(request));
-  SISD_ASSIGN_OR_RETURN(dataset, DatasetFromParams(request));
   core::MinerConfig config;
   if (const JsonValue* overrides = request.params.Find("config")) {
     SISD_RETURN_NOT_OK(ApplyConfigOverrides(*overrides, &config));
   }
+  SISD_ASSIGN_OR_RETURN(dataset_ref, ParamString(request, "dataset_ref"));
+  if (dataset_ref.has_value()) {
+    // Catalog-addressed open: no ingest, no dataset copy, and the
+    // condition pool is shared with every other session on this dataset.
+    if (request.params.Find("scenario") != nullptr ||
+        request.params.Find("csv_path") != nullptr ||
+        request.params.Find("csv_text") != nullptr) {
+      return Status::InvalidArgument(
+          "open takes either 'dataset_ref' or an inline dataset source, "
+          "not both");
+    }
+    SISD_ASSIGN_OR_RETURN(
+        info, manager.OpenRef(request.session, *dataset_ref,
+                              std::move(config)));
+    return EncodeSessionInfo(info);
+  }
+  SISD_ASSIGN_OR_RETURN(dataset, DatasetFromParams(request, "open"));
   SISD_ASSIGN_OR_RETURN(info, manager.Open(request.session,
                                            std::move(dataset),
                                            std::move(config)));
@@ -291,11 +315,90 @@ Result<JsonValue> DoSave(SessionManager& manager,
                          const ProtocolRequest& request) {
   SISD_RETURN_NOT_OK(RequireSession(request));
   SISD_ASSIGN_OR_RETURN(path, ParamString(request, "path"));
-  SISD_ASSIGN_OR_RETURN(outcome,
-                        manager.Save(request.session, path.value_or("")));
+  SISD_ASSIGN_OR_RETURN(dataset_ref,
+                        ParamBool(request, "dataset_ref", false));
+  SISD_ASSIGN_OR_RETURN(outcome, manager.Save(request.session,
+                                              path.value_or(""),
+                                              dataset_ref));
   JsonValue result = JsonValue::Object();
   result.Set("path", JsonValue::Str(outcome.path));
   result.Set("bytes", JsonValue::Int(static_cast<int64_t>(outcome.bytes)));
+  return result;
+}
+
+JsonValue EncodeCatalogEntry(const catalog::CatalogEntryInfo& info) {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", JsonValue::Str(info.name));
+  out.Set("fingerprint",
+          JsonValue::Str(catalog::FingerprintToHex(info.fingerprint)));
+  out.Set("bytes", JsonValue::Int(static_cast<int64_t>(info.bytes)));
+  out.Set("rows", JsonValue::Int(static_cast<int64_t>(info.rows)));
+  out.Set("descriptions",
+          JsonValue::Int(static_cast<int64_t>(info.descriptions)));
+  out.Set("targets", JsonValue::Int(static_cast<int64_t>(info.targets)));
+  out.Set("pools", JsonValue::Int(static_cast<int64_t>(info.pools)));
+  out.Set("sessions", JsonValue::Int(static_cast<int64_t>(info.sessions)));
+  return out;
+}
+
+JsonValue EncodeCatalogListing(const catalog::DatasetCatalog& catalog) {
+  JsonValue out = JsonValue::Object();
+  JsonValue datasets = JsonValue::Array();
+  for (const catalog::CatalogEntryInfo& info : catalog.List()) {
+    datasets.Append(EncodeCatalogEntry(info));
+  }
+  out.Set("datasets", std::move(datasets));
+  out.Set("bytes_total",
+          JsonValue::Int(static_cast<int64_t>(catalog.total_bytes())));
+  return out;
+}
+
+Result<JsonValue> DoDatasetLoad(SessionManager& manager,
+                                const ProtocolRequest& request) {
+  SISD_ASSIGN_OR_RETURN(dataset, DatasetFromParams(request, "dataset_load"));
+  SISD_ASSIGN_OR_RETURN(name, ParamString(request, "name"));
+  if (name.has_value()) {
+    if (name->empty()) {
+      return Status::InvalidArgument(
+          "dataset_load 'name' must be non-empty when given");
+    }
+    dataset.name = *name;
+  }
+  SISD_ASSIGN_OR_RETURN(
+      pinned, manager.catalog()->Intern(std::move(dataset), /*pin=*/false, /*retain=*/true));
+  JsonValue result = JsonValue::Object();
+  // The registered name: first registration of this content wins, so a
+  // reused load may answer with a different name than it asked for.
+  result.Set("name", JsonValue::Str(pinned.dataset->name));
+  result.Set("fingerprint",
+             JsonValue::Str(catalog::FingerprintToHex(pinned.fingerprint)));
+  result.Set("bytes", JsonValue::Int(static_cast<int64_t>(pinned.bytes)));
+  result.Set("rows", JsonValue::Int(
+                         static_cast<int64_t>(pinned.dataset->num_rows())));
+  result.Set("descriptions",
+             JsonValue::Int(static_cast<int64_t>(
+                 pinned.dataset->num_descriptions())));
+  result.Set("targets",
+             JsonValue::Int(
+                 static_cast<int64_t>(pinned.dataset->num_targets())));
+  result.Set("reused", JsonValue::Bool(pinned.reused));
+  return result;
+}
+
+Result<JsonValue> DoDatasetList(SessionManager& manager) {
+  return EncodeCatalogListing(*manager.catalog());
+}
+
+Result<JsonValue> DoDatasetDrop(SessionManager& manager,
+                                const ProtocolRequest& request) {
+  SISD_ASSIGN_OR_RETURN(name, ParamString(request, "dataset"));
+  if (!name.has_value() || name->empty()) {
+    return Status::InvalidArgument(
+        "dataset_drop needs 'dataset': a registered name or fingerprint");
+  }
+  SISD_RETURN_NOT_OK(manager.catalog()->Drop(*name));
+  JsonValue result = JsonValue::Object();
+  result.Set("dropped", JsonValue::Str(*name));
   return result;
 }
 
@@ -338,6 +441,9 @@ Result<JsonValue> DoStats(SessionManager& manager) {
     names.Append(JsonValue::Str(name));
   }
   result.Set("names", std::move(names));
+  // Catalog contents: per-dataset fingerprint, byte size, pool count and
+  // live session ref count.
+  result.Set("catalog", EncodeCatalogListing(*manager.catalog()));
   return result;
 }
 
@@ -409,6 +515,32 @@ Result<pattern::Intention> ParseConditionSpec(const JsonValue& conditions,
   return pattern::Intention(std::move(parsed));
 }
 
+Result<catalog::PinnedDataset> PreloadDataset(
+    catalog::DatasetCatalog& catalog, const std::string& spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("--preload needs a non-empty spec");
+  }
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos) {
+    SISD_ASSIGN_OR_RETURN(dataset, datagen::MakeScenarioDataset(spec));
+    return catalog.Intern(std::move(dataset), /*pin=*/false, /*retain=*/true);
+  }
+  const std::string path = spec.substr(0, eq);
+  std::vector<std::string> targets;
+  for (const std::string& column : SplitString(spec.substr(eq + 1), ',')) {
+    const std::string trimmed{TrimWhitespace(column)};
+    if (!trimmed.empty()) targets.push_back(trimmed);
+  }
+  if (path.empty() || targets.empty()) {
+    return Status::InvalidArgument(
+        "--preload CSV spec must be PATH=TARGET[,TARGET...], got '" + spec +
+        "'");
+  }
+  SISD_ASSIGN_OR_RETURN(table, data::ReadCsvFile(path));
+  SISD_ASSIGN_OR_RETURN(dataset, data::MakeDataset(table, targets, path));
+  return catalog.Intern(std::move(dataset), /*pin=*/false, /*retain=*/true);
+}
+
 ProtocolResponse HandleRequest(SessionManager& manager,
                                const ProtocolRequest& request) {
   Result<JsonValue> result = [&]() -> Result<JsonValue> {
@@ -421,10 +553,17 @@ ProtocolResponse HandleRequest(SessionManager& manager,
     if (request.verb == "evict") return DoEvict(manager, request);
     if (request.verb == "close") return DoClose(manager, request);
     if (request.verb == "stats") return DoStats(manager);
+    if (request.verb == "dataset_load") {
+      return DoDatasetLoad(manager, request);
+    }
+    if (request.verb == "dataset_list") return DoDatasetList(manager);
+    if (request.verb == "dataset_drop") {
+      return DoDatasetDrop(manager, request);
+    }
     return Status::InvalidArgument(
         "unknown verb '" + request.verb +
         "' (expected open|mine|assimilate|history|export|save|evict|close|"
-        "stats)");
+        "stats|dataset_load|dataset_list|dataset_drop)");
   }();
   if (!result.ok()) {
     return serialize::MakeErrorResponse(request, result.status());

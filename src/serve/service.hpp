@@ -27,6 +27,15 @@ serialize::ProtocolResponse HandleRequest(
 Result<pattern::Intention> ParseConditionSpec(
     const serialize::JsonValue& conditions, const data::DataTable& table);
 
+/// \brief Loads one `--preload` spec into `catalog` (no session pin).
+/// Spec forms:
+///   - a datagen scenario name ("crime", "synthetic", ...);
+///   - `PATH=TARGET[,TARGET...]`: a CSV file ingested through the
+///     streaming chunked reader, with the named numeric columns as
+///     targets (registered under the path as its dataset name).
+Result<catalog::PinnedDataset> PreloadDataset(
+    catalog::DatasetCatalog& catalog, const std::string& spec);
+
 }  // namespace sisd::serve
 
 #endif  // SISD_SERVE_SERVICE_HPP_

@@ -28,6 +28,10 @@ struct SessionManager::SessionEntry {
   std::unique_ptr<core::MiningSession> session;  ///< null while spilled
   std::string spill_text;  ///< in-memory spill (no spill_dir)
   std::string spill_path;  ///< on-disk spill
+  /// The catalog pin this session holds (kept while spilled, so a
+  /// dataset_ref spill snapshot always resolves on restore). Released on
+  /// close / failed open / manager teardown.
+  std::optional<uint64_t> pinned_fingerprint;
 
   std::atomic<bool> resident{false};
   std::atomic<uint64_t> last_touch{0};
@@ -78,10 +82,19 @@ Status CheckGeneration(uint64_t current,
 }  // namespace
 
 SessionManager::SessionManager(ServeConfig config)
-    : config_(std::move(config)) {
+    : SessionManager(std::move(config), nullptr) {}
+
+SessionManager::SessionManager(
+    ServeConfig config, std::shared_ptr<catalog::DatasetCatalog> catalog)
+    : config_(std::move(config)), catalog_(std::move(catalog)) {
   config_.max_resident = std::max<size_t>(config_.max_resident, 1);
   config_.num_shards =
       std::min<size_t>(std::max<size_t>(config_.num_shards, 1), 4096);
+  if (catalog_ == nullptr) {
+    catalog::CatalogConfig catalog_config;
+    catalog_config.max_bytes = config_.catalog_max_bytes;
+    catalog_ = std::make_shared<catalog::DatasetCatalog>(catalog_config);
+  }
   pool_ = std::make_shared<search::ThreadPool>(
       search::ThreadPool::ResolveNumThreads(config_.num_threads));
   shards_.reserve(config_.num_shards);
@@ -90,7 +103,21 @@ SessionManager::SessionManager(ServeConfig config)
   }
 }
 
-SessionManager::~SessionManager() = default;
+SessionManager::~SessionManager() {
+  // Release the catalog pins of still-open sessions: a shared catalog
+  // outlives this manager, and orphaned pins would block dataset_drop
+  // forever.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, entry] : shard->sessions) {
+      std::lock_guard<std::mutex> entry_lock(entry->mu);
+      if (!entry->closed && entry->pinned_fingerprint.has_value()) {
+        catalog_->Unpin(*entry->pinned_fingerprint);
+        entry->pinned_fingerprint.reset();
+      }
+    }
+  }
+}
 
 SessionManager::Shard& SessionManager::ShardFor(
     const std::string& name) const {
@@ -147,8 +174,8 @@ Status SessionManager::EnsureResident(SessionEntry* entry) {
     return Status::Unknown("session '" + entry->name +
                            "' has neither live state nor a spill snapshot");
   }
-  SISD_ASSIGN_OR_RETURN(session,
-                        core::MiningSession::RestoreFromString(*text));
+  SISD_ASSIGN_OR_RETURN(session, core::MiningSession::RestoreFromString(
+                                     *text, catalog_.get()));
   entry->session = std::make_unique<core::MiningSession>(std::move(session));
   entry->session->set_thread_pool(pool_);
   // The live session owns the state again: drop the spill (including the
@@ -167,7 +194,14 @@ Status SessionManager::EnsureResident(SessionEntry* entry) {
 
 Status SessionManager::EvictEntryLocked(SessionEntry* entry) {
   SISD_CHECK(entry->session != nullptr);
-  std::string text = entry->session->SaveToString();
+  // Catalog-origin sessions spill in dataset_ref form: the snapshot skips
+  // the dataset bytes and the restore reuses the shared dataset + pool.
+  // The entry's catalog pin stays held across the spill, so the ref always
+  // resolves. Sessions without an origin (none are created by this
+  // manager, but restores of foreign inline snapshots could lack one)
+  // fall back to the self-contained inline form.
+  std::string text =
+      entry->session->SaveToString(core::SnapshotForm::kDatasetRef);
   if (!config_.spill_dir.empty()) {
     const std::string path = SpillPathFor(entry->name);
     SISD_RETURN_NOT_OK(serialize::WriteTextFile(path, text));
@@ -255,28 +289,58 @@ Result<SessionInfo> SessionManager::Open(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("session name must be non-empty");
   }
+  SISD_ASSIGN_OR_RETURN(pinned,
+                        catalog_->Intern(std::move(dataset), /*pin=*/true,
+                                        /*retain=*/false));
+  return OpenPinned(name, std::move(pinned), std::move(config));
+}
+
+Result<SessionInfo> SessionManager::OpenRef(const std::string& name,
+                                            const std::string& dataset_ref,
+                                            core::MinerConfig config) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session name must be non-empty");
+  }
+  SISD_ASSIGN_OR_RETURN(
+      pinned, catalog_->FindByNameOrFingerprint(dataset_ref, /*pin=*/true));
+  return OpenPinned(name, std::move(pinned), std::move(config));
+}
+
+Result<SessionInfo> SessionManager::OpenPinned(const std::string& name,
+                                               catalog::PinnedDataset pinned,
+                                               core::MinerConfig config) {
   auto entry = std::make_shared<SessionEntry>(name);
   {
     Shard& shard = ShardFor(name);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto [it, inserted] = shard.sessions.emplace(name, entry);
     if (!inserted) {
+      catalog_->Unpin(pinned.fingerprint);
       return Status::AlreadyExists("session '" + name + "' already exists");
     }
   }
   // Built under the entry lock (racers block on it, not on the shard).
+  // The condition pool comes from the catalog's artifact cache: the first
+  // session on a (dataset, alphabet) pays the build, every later one
+  // shares the same immutable instance.
   std::unique_lock<std::mutex> entry_lock(entry->mu);
-  Result<core::MiningSession> session =
-      core::MiningSession::Create(std::move(dataset), std::move(config));
+  std::shared_ptr<const search::ConditionPool> shared_pool =
+      catalog_->PoolFor(pinned, config.search.num_split_points,
+                        config.search.include_exclusions);
+  Result<core::MiningSession> session = core::MiningSession::Create(
+      pinned.dataset, std::move(config), std::move(shared_pool),
+      pinned.ref());
   if (!session.ok()) {
     entry->closed = true;
     entry_lock.unlock();
     RemoveEntry(name, entry.get());
+    catalog_->Unpin(pinned.fingerprint);
     return session.status();
   }
   entry->session =
       std::make_unique<core::MiningSession>(std::move(session).MoveValue());
   entry->session->set_thread_pool(pool_);
+  entry->pinned_fingerprint = pinned.fingerprint;
   entry->resident.store(true);
   resident_count_.fetch_add(1);
   opens_.fetch_add(1);
@@ -390,14 +454,17 @@ Result<std::string> SessionManager::ExportCsv(
 }
 
 Result<SaveOutcome> SessionManager::Save(const std::string& name,
-                                         const std::string& path) {
+                                         const std::string& path,
+                                         bool dataset_ref) {
   SISD_ASSIGN_OR_RETURN(locked, Lock(name));
   std::string out_path = !path.empty() ? path : SpillPathFor(name);
   if (out_path.empty()) {
     return Status::InvalidArgument(
         "save needs a 'path' when the server has no spill directory");
   }
-  const std::string text = locked.session().SaveToString();
+  const std::string text = locked.session().SaveToString(
+      dataset_ref ? core::SnapshotForm::kDatasetRef
+                  : core::SnapshotForm::kInlineDataset);
   SISD_RETURN_NOT_OK(serialize::WriteTextFile(out_path, text));
   locked.lock.unlock();
   MaybeEvict();
@@ -451,6 +518,10 @@ Status SessionManager::Close(const std::string& name, bool save,
   }
   entry->spill_text.clear();
   entry->spill_path.clear();
+  if (entry->pinned_fingerprint.has_value()) {
+    catalog_->Unpin(*entry->pinned_fingerprint);
+    entry->pinned_fingerprint.reset();
+  }
   if (!stale_spill.empty()) std::remove(stale_spill.c_str());
   lock.unlock();
   RemoveEntry(name, entry.get());

@@ -28,6 +28,12 @@
 ///    `search::ThreadPool` (instead of a pool per search call), so a busy
 ///    server never oversubscribes the machine. Results are bit-identical
 ///    for any worker count.
+///  - **One dataset, many sessions.** Every open interns its dataset into
+///    a `catalog::DatasetCatalog` (content-addressed), so N sessions over
+///    one dataset share a single immutable `data::Dataset` and a single
+///    memoized `search::ConditionPool`: the marginal cost of an extra
+///    session is its model state. Eviction spills in `dataset_ref` form,
+///    so restores resolve through the catalog and never rebuild either.
 
 #ifndef SISD_SERVE_SESSION_MANAGER_HPP_
 #define SISD_SERVE_SESSION_MANAGER_HPP_
@@ -41,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/dataset_catalog.hpp"
 #include "common/status.hpp"
 #include "core/session.hpp"
 #include "data/table.hpp"
@@ -60,6 +67,9 @@ struct ServeConfig {
   /// Workers in the shared scoring pool: >= 1 literal, 0 = auto
   /// (`SISD_THREADS`, then hardware concurrency).
   int num_threads = 1;
+  /// Byte budget of the dataset catalog the manager constructs when none
+  /// is injected (0 = unlimited; see `catalog::CatalogConfig`).
+  size_t catalog_max_bytes = 0;
 };
 
 /// \brief One history entry rendered for transport (Describe() text plus
@@ -131,16 +141,35 @@ using IntentionBuilder =
 /// all public methods may be called concurrently.
 class SessionManager {
  public:
+  /// Constructs a manager with its own private catalog (sized by
+  /// `config.catalog_max_bytes`).
   explicit SessionManager(ServeConfig config);
+
+  /// Constructs a manager over a shared catalog (several managers — or a
+  /// manager plus direct catalog users — can serve one dataset pool).
+  /// Falls back to a private catalog when `catalog` is null.
+  SessionManager(ServeConfig config,
+                 std::shared_ptr<catalog::DatasetCatalog> catalog);
+
   ~SessionManager();  // out of line: Shard/SessionEntry are .cpp-private
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Creates a session named `name` over `dataset`. AlreadyExists when the
-  /// name is taken.
+  /// Creates a session named `name` over `dataset`. The dataset is
+  /// interned into the catalog first (content-addressed dedup), so
+  /// identical content is stored once no matter how many sessions open
+  /// it. AlreadyExists when the name is taken.
   Result<SessionInfo> Open(const std::string& name, data::Dataset dataset,
                            core::MinerConfig config);
+
+  /// Creates a session over a dataset already in the catalog:
+  /// `dataset_ref` is a registered name or a 16-hex-digit fingerprint.
+  /// This is the zero-copy open — no dataset ingest, no pool build beyond
+  /// the first session's.
+  Result<SessionInfo> OpenRef(const std::string& name,
+                              const std::string& dataset_ref,
+                              core::MinerConfig config);
 
   /// Runs up to `iterations` mining iterations. `if_generation` (when set)
   /// must equal the session's current generation or the call fails with
@@ -165,8 +194,12 @@ class SessionManager {
                                 std::optional<size_t> iteration);
 
   /// Writes the session snapshot to `path` (default: the session's spill
-  /// path; fails when neither a path nor a spill_dir exists).
-  Result<SaveOutcome> Save(const std::string& name, const std::string& path);
+  /// path; fails when neither a path nor a spill_dir exists). Inline
+  /// (self-contained) form by default; `dataset_ref = true` writes the
+  /// compact catalog-addressed form instead (restorable only where the
+  /// dataset is loaded).
+  Result<SaveOutcome> Save(const std::string& name, const std::string& path,
+                           bool dataset_ref = false);
 
   /// Force-spills the session now (idempotent). The next touch restores
   /// it transparently; results are unaffected.
@@ -194,6 +227,11 @@ class SessionManager {
     return pool_;
   }
 
+  /// The dataset catalog (never null).
+  const std::shared_ptr<catalog::DatasetCatalog>& catalog() const {
+    return catalog_;
+  }
+
   /// Where `name` spills/saves by default ("" without a spill_dir).
   std::string SpillPathFor(const std::string& name) const;
 
@@ -205,6 +243,13 @@ class SessionManager {
   Shard& ShardFor(const std::string& name) const;
   std::shared_ptr<SessionEntry> FindEntry(const std::string& name) const;
   void RemoveEntry(const std::string& name, const SessionEntry* expected);
+
+  /// Shared tail of `Open`/`OpenRef`: `pinned` carries one catalog pin,
+  /// which this either hands to the created session's entry or releases
+  /// on failure.
+  Result<SessionInfo> OpenPinned(const std::string& name,
+                                 catalog::PinnedDataset pinned,
+                                 core::MinerConfig config);
 
   /// Finds, locks, restores-if-spilled and touches the session.
   Result<LockedSession> Lock(const std::string& name);
@@ -221,6 +266,7 @@ class SessionManager {
   uint64_t NextTouch() { return touch_clock_.fetch_add(1) + 1; }
 
   ServeConfig config_;
+  std::shared_ptr<catalog::DatasetCatalog> catalog_;
   std::shared_ptr<search::ThreadPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 

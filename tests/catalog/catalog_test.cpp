@@ -1,0 +1,252 @@
+// DatasetCatalog semantics: content addressing (identical content interns
+// to one shared entry), pins gate drops, the byte budget LRU-drops only
+// unpinned entries, and the artifact cache memoizes condition pools by
+// pointer identity.
+
+#include "catalog/dataset_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "catalog/fingerprint.hpp"
+#include "datagen/scenarios.hpp"
+
+namespace sisd::catalog {
+namespace {
+
+data::Dataset Synthetic() {
+  return datagen::MakeScenarioDataset("synthetic").Value();
+}
+
+TEST(FingerprintTest, HexRoundTripsAndIsStable) {
+  const data::Dataset dataset = Synthetic();
+  const DatasetFingerprint a = FingerprintDataset(dataset);
+  const DatasetFingerprint b = FingerprintDataset(Synthetic());
+  EXPECT_EQ(a.value, b.value) << "same content must fingerprint equal";
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_GT(a.bytes, 0u);
+
+  const std::string hex = FingerprintToHex(a.value);
+  EXPECT_EQ(hex.size(), 16u);
+  Result<uint64_t> parsed = FingerprintFromHex(hex);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.Value(), a.value);
+
+  EXPECT_FALSE(FingerprintFromHex("short").ok());
+  EXPECT_FALSE(FingerprintFromHex("xyzw567890123456").ok());
+}
+
+TEST(FingerprintTest, DifferentContentDifferentFingerprint) {
+  data::Dataset a = Synthetic();
+  data::Dataset b = Synthetic();
+  b.targets(0, 0) += 1.0;
+  EXPECT_NE(FingerprintDataset(a).value, FingerprintDataset(b).value);
+  // The name participates in the serialized form, so renames change the
+  // address too (content addressing covers the whole snapshot encoding).
+  data::Dataset c = Synthetic();
+  c.name = "renamed";
+  EXPECT_NE(FingerprintDataset(a).value, FingerprintDataset(c).value);
+}
+
+TEST(DatasetCatalogTest, InternDedupsIdenticalContent) {
+  DatasetCatalog catalog;
+  Result<PinnedDataset> first = catalog.Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.Value().reused);
+  Result<PinnedDataset> second = catalog.Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.Value().reused);
+  // One entry, one shared instance.
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(first.Value().dataset.get(), second.Value().dataset.get());
+  EXPECT_EQ(catalog.total_bytes(), first.Value().bytes);
+}
+
+TEST(DatasetCatalogTest, LookupsResolveNameAndFingerprint) {
+  DatasetCatalog catalog;
+  Result<PinnedDataset> put = catalog.Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(put.ok());
+  const std::string name = put.Value().dataset->name;
+
+  Result<PinnedDataset> by_name = catalog.FindByName(name, /*pin=*/false);
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name.Value().dataset.get(), put.Value().dataset.get());
+
+  Result<PinnedDataset> by_fp =
+      catalog.FindByFingerprint(put.Value().fingerprint, /*pin=*/false);
+  ASSERT_TRUE(by_fp.ok());
+  EXPECT_EQ(by_fp.Value().dataset.get(), put.Value().dataset.get());
+
+  Result<PinnedDataset> by_hex = catalog.FindByNameOrFingerprint(
+      FingerprintToHex(put.Value().fingerprint), /*pin=*/false);
+  ASSERT_TRUE(by_hex.ok());
+  EXPECT_EQ(by_hex.Value().dataset.get(), put.Value().dataset.get());
+
+  EXPECT_EQ(catalog.FindByName("ghost", false).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.Resolve(DatasetRef{12345u, "gone"}, false).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatasetCatalogTest, PinsGateDrops) {
+  DatasetCatalog catalog;
+  Result<PinnedDataset> pinned = catalog.Intern(Synthetic(), /*pin=*/true, /*retain=*/true);
+  ASSERT_TRUE(pinned.ok());
+  const std::string name = pinned.Value().dataset->name;
+  // Pinned: drop refuses with Conflict (a spilled session would need it).
+  EXPECT_EQ(catalog.Drop(name).code(), StatusCode::kConflict);
+  catalog.Unpin(pinned.Value().fingerprint);
+  EXPECT_TRUE(catalog.Drop(name).ok());
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_EQ(catalog.total_bytes(), 0u);
+  EXPECT_EQ(catalog.Drop(name).code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetCatalogTest, BudgetDropsOnlyUnpinnedLru) {
+  Result<PinnedDataset> probe =
+      DatasetCatalog().Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(probe.ok());
+  const size_t one = probe.Value().bytes;
+
+  // Budget fits two entries; the third intern evicts the coldest unpinned.
+  CatalogConfig config;
+  config.max_bytes = 2 * one + one / 2;
+  DatasetCatalog catalog(config);
+
+  data::Dataset a = Synthetic();
+  a.name = "a";
+  data::Dataset b = Synthetic();
+  b.name = "b";
+  data::Dataset c = Synthetic();
+  c.name = "c";
+  Result<PinnedDataset> pa = catalog.Intern(std::move(a), /*pin=*/true, /*retain=*/true);
+  ASSERT_TRUE(pa.ok());
+  Result<PinnedDataset> pb = catalog.Intern(std::move(b), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(pb.ok());
+  ASSERT_TRUE(catalog.Intern(std::move(c), /*pin=*/false, /*retain=*/true).ok());
+  // 'b' was the coldest unpinned entry; 'a' is pinned and must survive.
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_TRUE(catalog.FindByName("a", false).ok());
+  EXPECT_FALSE(catalog.FindByName("b", false).ok());
+  EXPECT_TRUE(catalog.FindByName("c", false).ok());
+}
+
+TEST(DatasetCatalogTest, ImplicitEntriesDieWithTheirLastPin) {
+  // retain=false models a plain `open`: the entry lives exactly as long
+  // as sessions pin it (the pre-catalog lifetime of a private copy).
+  DatasetCatalog catalog;
+  Result<PinnedDataset> first =
+      catalog.Intern(Synthetic(), /*pin=*/true, /*retain=*/false);
+  ASSERT_TRUE(first.ok());
+  Result<PinnedDataset> second =
+      catalog.Intern(Synthetic(), /*pin=*/true, /*retain=*/false);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.Value().reused);
+  (void)catalog.PoolFor(first.Value(), 4, false);
+
+  catalog.Unpin(first.Value().fingerprint);
+  EXPECT_EQ(catalog.size(), 1u) << "still pinned by the second session";
+  catalog.Unpin(second.Value().fingerprint);
+  EXPECT_EQ(catalog.size(), 0u) << "last unpin must free implicit entries";
+  EXPECT_EQ(catalog.total_bytes(), 0u);
+  EXPECT_EQ(catalog.artifacts().size(), 0u);
+
+  // A dataset_load (retain=true) reuse hit upgrades the entry to retained.
+  Result<PinnedDataset> implicit =
+      catalog.Intern(Synthetic(), /*pin=*/true, /*retain=*/false);
+  ASSERT_TRUE(implicit.ok());
+  ASSERT_TRUE(catalog.Intern(Synthetic(), /*pin=*/false, /*retain=*/true)
+                  .ok());
+  catalog.Unpin(implicit.Value().fingerprint);
+  EXPECT_EQ(catalog.size(), 1u) << "retained entries survive their pins";
+}
+
+TEST(DatasetCatalogTest, OversizedInternFailsInsteadOfVanishing) {
+  Result<PinnedDataset> probe =
+      DatasetCatalog().Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(probe.ok());
+  CatalogConfig config;
+  config.max_bytes = probe.Value().bytes / 2;  // nothing fits
+  DatasetCatalog catalog(config);
+  Result<PinnedDataset> interned =
+      catalog.Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  EXPECT_EQ(interned.status().code(), StatusCode::kConflict)
+      << "a load that cannot fit the budget must fail loudly";
+  EXPECT_EQ(catalog.size(), 0u);
+  // A pinned intern is never evicted, so it succeeds even over budget.
+  EXPECT_TRUE(
+      catalog.Intern(Synthetic(), /*pin=*/true, /*retain=*/true).ok());
+}
+
+TEST(DatasetCatalogTest, AmbiguousNamesRefuseNameResolution) {
+  DatasetCatalog catalog;
+  data::Dataset v1 = Synthetic();
+  v1.name = "sales";
+  data::Dataset v2 = Synthetic();
+  v2.name = "sales";
+  v2.targets(0, 0) += 1.0;  // different content, same name
+  Result<PinnedDataset> p1 =
+      catalog.Intern(std::move(v1), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(p1.ok());
+  Result<PinnedDataset> p2 =
+      catalog.Intern(std::move(v2), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_FALSE(p2.Value().reused);
+
+  // By-name lookup and drop must refuse the ambiguity, not pick one.
+  EXPECT_EQ(catalog.FindByName("sales", false).status().code(),
+            StatusCode::kConflict);
+  EXPECT_EQ(catalog.Drop("sales").code(), StatusCode::kConflict);
+  // Fingerprints stay unambiguous.
+  EXPECT_TRUE(catalog
+                  .FindByNameOrFingerprint(
+                      FingerprintToHex(p1.Value().fingerprint), false)
+                  .ok());
+  EXPECT_TRUE(catalog.Drop(FingerprintToHex(p2.Value().fingerprint)).ok());
+  // One 'sales' left: name resolution works again.
+  EXPECT_TRUE(catalog.FindByName("sales", false).ok());
+}
+
+TEST(DatasetCatalogTest, PoolMemoizationByPointerIdentity) {
+  DatasetCatalog catalog;
+  Result<PinnedDataset> pinned = catalog.Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(pinned.ok());
+  auto p1 = catalog.PoolFor(pinned.Value(), 4, false);
+  auto p2 = catalog.PoolFor(pinned.Value(), 4, false);
+  EXPECT_EQ(p1.get(), p2.get()) << "same key must share one pool";
+  auto p3 = catalog.PoolFor(pinned.Value(), 8, false);
+  EXPECT_NE(p1.get(), p3.get()) << "different splits, different pool";
+  auto p4 = catalog.PoolFor(pinned.Value(), 4, true);
+  EXPECT_NE(p1.get(), p4.get()) << "different alphabet, different pool";
+  EXPECT_EQ(catalog.artifacts().PoolCountFor(pinned.Value().fingerprint), 3u);
+
+  ASSERT_TRUE(catalog.Drop(pinned.Value().dataset->name).ok());
+  EXPECT_EQ(catalog.artifacts().PoolCountFor(pinned.Value().fingerprint), 0u);
+  // Held handles stay valid after the drop (shared ownership).
+  EXPECT_GT(p1->size(), 0u);
+}
+
+TEST(DatasetCatalogTest, ListIsSortedAndCounts) {
+  DatasetCatalog catalog;
+  data::Dataset zed = Synthetic();
+  zed.name = "zed";
+  data::Dataset abc = Synthetic();
+  abc.name = "abc";
+  ASSERT_TRUE(catalog.Intern(std::move(zed), /*pin=*/true, /*retain=*/true).ok());
+  Result<PinnedDataset> pinned = catalog.Intern(std::move(abc), false, /*retain=*/true);
+  ASSERT_TRUE(pinned.ok());
+  (void)catalog.PoolFor(pinned.Value(), 4, false);
+
+  const std::vector<CatalogEntryInfo> listing = catalog.List();
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0].name, "abc");
+  EXPECT_EQ(listing[0].pools, 1u);
+  EXPECT_EQ(listing[0].sessions, 0u);
+  EXPECT_EQ(listing[1].name, "zed");
+  EXPECT_EQ(listing[1].pools, 0u);
+  EXPECT_EQ(listing[1].sessions, 1u);
+  EXPECT_GT(listing[0].bytes, 0u);
+  EXPECT_EQ(listing[0].rows, pinned.Value().dataset->num_rows());
+}
+
+}  // namespace
+}  // namespace sisd::catalog

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -98,6 +99,79 @@ TEST(ReadCsvTest, HandlesCrLfLineEndings) {
   ASSERT_TRUE(table.ok());
   EXPECT_EQ(table.Value().num_rows(), 2u);
   EXPECT_DOUBLE_EQ(table.Value().column(1).NumericValue(1), 4.0);
+}
+
+TEST(ReadCsvTest, TrailingBlankLinesAreIgnored) {
+  // A trailing newline-only line and a whitespace-only line both vanish;
+  // row count and cells are unchanged.
+  for (const char* text : {"a,b\n1,2\n3,4\n", "a,b\n1,2\n3,4\n\n",
+                           "a,b\n1,2\n3,4\n  \n\n"}) {
+    Result<DataTable> table = ReadCsvText(text);
+    ASSERT_TRUE(table.ok()) << table.status().ToString() << " for "
+                            << ::testing::PrintToString(text);
+    EXPECT_EQ(table.Value().num_rows(), 2u);
+    EXPECT_DOUBLE_EQ(table.Value().column(0).NumericValue(1), 3.0);
+  }
+}
+
+// ---- Streaming reader (ReadCsvStream / chunked ReadCsvFile). ----
+
+TEST(ReadCsvStreamTest, AgreesWithTextParseOnEdgeCases) {
+  const char* cases[] = {
+      "a,b\r\n1,2\r\n3,4\r\n",                        // CRLF endings
+      "name,value\n\"contains, comma\",1\n\"x\",2\n",  // quoted separators
+      "a,b\n1,2\n\n",                                  // trailing blank line
+      "a,b\n1,2\n3,4",                                 // no final newline
+      "a,b\n1,2\nNA,3\n4,5\n",                         // missing-value row
+  };
+  for (const char* text : cases) {
+    Result<DataTable> from_text = ReadCsvText(text);
+    std::istringstream in{std::string(text)};
+    Result<DataTable> from_stream = ReadCsvStream(in);
+    ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+    ASSERT_TRUE(from_stream.ok()) << from_stream.status().ToString();
+    EXPECT_EQ(WriteCsvText(from_stream.Value()),
+              WriteCsvText(from_text.Value()))
+        << "stream/text divergence for " << ::testing::PrintToString(text);
+  }
+}
+
+TEST(ReadCsvStreamTest, MultiChunkFileMatchesWholeFileParseByteForByte) {
+  // Build a CSV several chunks long whose quoted fields (commas, CRLF rows)
+  // are guaranteed to straddle chunk boundaries, then compare the chunked
+  // file parse against the whole-string parse.
+  std::string text = "id,label,value\r\n";
+  const size_t rows = 3 * kCsvChunkBytes / 40;  // ~3 chunks at ~40 B/row
+  for (size_t i = 0; i < rows; ++i) {
+    text += std::to_string(i);
+    text += ",\"label, with comma #" + std::to_string(i % 97) + "\",";
+    text += std::to_string(double(i) / 8.0).substr(0, 8);
+    text += "\r\n";
+  }
+  ASSERT_GT(text.size(), 2 * kCsvChunkBytes) << "test must span >1 chunk";
+
+  const std::string path = ::testing::TempDir() + "/sisd_csv_chunked.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good());
+    out << text;
+  }
+  Result<DataTable> from_file = ReadCsvFile(path);
+  Result<DataTable> from_text = ReadCsvText(text);
+  std::remove(path.c_str());
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  ASSERT_EQ(from_file.Value().num_rows(), rows);
+  EXPECT_EQ(WriteCsvText(from_file.Value()), WriteCsvText(from_text.Value()));
+}
+
+TEST(ReadCsvStreamTest, ErrorsMatchTextParse) {
+  for (const char* text : {"", "a,b\n1\n", "a\n\"unterminated\n"}) {
+    std::istringstream in{std::string(text)};
+    EXPECT_EQ(ReadCsvStream(in).status().code(),
+              ReadCsvText(text).status().code())
+        << ::testing::PrintToString(text);
+  }
 }
 
 TEST(WriteCsvTest, RoundTripsThroughText) {

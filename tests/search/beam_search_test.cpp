@@ -209,7 +209,8 @@ TEST(BeamSearchTest, RecoversSetExclusionPattern) {
   data::DataTable table;
   table.AddColumn(data::Column::CategoricalFromStrings("cat", levels))
       .CheckOK();
-  const ConditionPool pool = ConditionPool::Build(table, 4);
+  const ConditionPool pool =
+      ConditionPool::Build(table, 4, /*include_exclusions=*/true);
 
   // Quality: reward covering exactly the non-'d' rows.
   pattern::Extension target(n);

@@ -24,15 +24,29 @@ data::DataTable MakeTable() {
 
 TEST(ConditionPoolTest, BuildsExpectedConditionCount) {
   const data::DataTable table = MakeTable();
+  // Default (the paper's Cortana alphabet): numeric 4 splits x 2 ops = 8;
+  // binary: 2 equality levels; categorical with 3 levels: 3 equalities.
+  const ConditionPool cortana = ConditionPool::Build(table, 4);
+  EXPECT_EQ(cortana.size(), 13u);
+  // Opting in to set exclusions adds one != per categorical level.
+  const ConditionPool extended =
+      ConditionPool::Build(table, 4, /*include_exclusions=*/true);
+  EXPECT_EQ(extended.size(), 16u);
+}
+
+TEST(ConditionPoolTest, DefaultAlphabetHasNoExclusions) {
+  const data::DataTable table = MakeTable();
   const ConditionPool pool = ConditionPool::Build(table, 4);
-  // Numeric: 4 splits x 2 ops = 8; binary: 2 equality levels; categorical
-  // with 3 levels: 3 equalities + 3 exclusions.
-  EXPECT_EQ(pool.size(), 16u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_NE(pool.condition(i).op, pattern::ConditionOp::kNotEquals)
+        << pool.condition(i).Signature();
+  }
 }
 
 TEST(ConditionPoolTest, ExclusionsOnlyForThreePlusLevels) {
   const data::DataTable table = MakeTable();
-  const ConditionPool pool = ConditionPool::Build(table, 4);
+  const ConditionPool pool =
+      ConditionPool::Build(table, 4, /*include_exclusions=*/true);
   size_t binary_exclusions = 0;
   size_t categorical_exclusions = 0;
   for (size_t i = 0; i < pool.size(); ++i) {

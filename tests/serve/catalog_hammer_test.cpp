@@ -1,0 +1,109 @@
+// Concurrency hammer over the dataset catalog: loads, catalog-addressed
+// opens, mining, closes and drops race from several threads. Run under
+// TSan (scripts/check_tsan.sh) this is the data-race acceptance for the
+// shared-dataset architecture; under plain builds it asserts the
+// invariants that must survive any interleaving:
+//  - a drop never succeeds while a session pins the dataset;
+//  - sessions that did open always mine against a live shared instance;
+//  - the catalog ends balanced (all pins released once sessions close).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/dataset_catalog.hpp"
+#include "datagen/scenarios.hpp"
+#include "serve/session_manager.hpp"
+
+namespace sisd::serve {
+namespace {
+
+core::MinerConfig HammerConfig(int splits) {
+  core::MinerConfig config;
+  config.search.beam_width = 4;
+  config.search.max_depth = 2;
+  config.search.top_k = 10;
+  config.search.min_coverage = 5;
+  config.search.num_split_points = splits;
+  return config;
+}
+
+TEST(CatalogHammerTest, ConcurrentOpenDropMineStorm) {
+  SessionManager manager(ServeConfig{});
+  data::Dataset seed = datagen::MakeScenarioDataset("synthetic").Value();
+  seed.name = "hammer";
+  Result<catalog::PinnedDataset> loaded =
+      manager.catalog()->Intern(std::move(seed), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  constexpr int kMiners = 3;
+  constexpr int kRounds = 8;
+  std::atomic<int> mined{0};
+  std::atomic<int> dropped{0};
+  std::atomic<bool> failure{false};
+
+  std::vector<std::thread> threads;
+  // Miner threads: open by ref (varying split counts race the artifact
+  // cache), mine, close. A NotFound open just means the dropper won.
+  for (int t = 0; t < kMiners; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < kRounds; ++round) {
+        std::string name = "s";
+        name += std::to_string(t);
+        name += "_";
+        name += std::to_string(round);
+        Result<SessionInfo> opened = manager.OpenRef(
+            name, "hammer", HammerConfig(2 + (t + round) % 3));
+        if (!opened.ok()) {
+          if (opened.status().code() != StatusCode::kNotFound) {
+            failure.store(true);
+          }
+          continue;
+        }
+        Result<MineOutcome> outcome = manager.Mine(name, 1, std::nullopt);
+        if (outcome.ok()) {
+          mined.fetch_add(1);
+        } else if (outcome.status().code() != StatusCode::kNotFound) {
+          failure.store(true);
+        }
+        const Status closed = manager.Close(name, /*save=*/false, "");
+        if (!closed.ok()) failure.store(true);
+      }
+    });
+  }
+  // Dropper thread: tries to drop and immediately re-load the dataset.
+  // Conflict (pinned by a miner) and NotFound (already dropped) are the
+  // expected contention outcomes; anything else is a bug.
+  threads.emplace_back([&]() {
+    for (int round = 0; round < 2 * kRounds; ++round) {
+      const Status drop = manager.catalog()->Drop("hammer");
+      if (drop.ok()) {
+        dropped.fetch_add(1);
+        data::Dataset again =
+            datagen::MakeScenarioDataset("synthetic").Value();
+        again.name = "hammer";
+        Result<catalog::PinnedDataset> reloaded =
+            manager.catalog()->Intern(std::move(again), /*pin=*/false, /*retain=*/true);
+        if (!reloaded.ok()) failure.store(true);
+      } else if (drop.code() != StatusCode::kConflict &&
+                 drop.code() != StatusCode::kNotFound) {
+        failure.store(true);
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_FALSE(failure.load());
+  EXPECT_GT(mined.load(), 0) << "storm never mined once";
+  // All sessions closed: no pins left, so a final drop must succeed.
+  EXPECT_EQ(manager.Stats().sessions, 0u);
+  EXPECT_TRUE(manager.catalog()->Drop("hammer").ok());
+  EXPECT_EQ(manager.catalog()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace sisd::serve

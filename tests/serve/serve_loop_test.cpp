@@ -137,6 +137,62 @@ TEST(ServeLoopTest, ResponsesAreByteIdenticalAcrossWorkerCounts) {
       << "worker count leaked into protocol responses";
 }
 
+TEST(ServeLoopTest, CatalogVerbScriptIsDeterministicAndSharesOneDataset) {
+  // dataset_load -> two catalog-addressed opens -> mine both -> list ->
+  // drop (refused while pinned) -> close both -> drop -> stats. The
+  // script replays byte-identically (same script => same bytes, the
+  // protocol determinism guarantee extended to the catalog verbs), and
+  // both sessions mine the same first pattern as a private-copy session.
+  std::string script;
+  script += "{\"id\":1,\"verb\":\"dataset_load\",\"scenario\":"
+            "\"synthetic\",\"name\":\"shared\"}\n";
+  script += "{\"id\":2,\"verb\":\"open\",\"session\":\"a\","
+            "\"dataset_ref\":\"shared\",\"config\":{\"beam_width\":8,"
+            "\"max_depth\":2,\"top_k\":20,\"min_coverage\":5}}\n";
+  script += "{\"id\":3,\"verb\":\"open\",\"session\":\"b\","
+            "\"dataset_ref\":\"shared\",\"config\":{\"beam_width\":8,"
+            "\"max_depth\":2,\"top_k\":20,\"min_coverage\":5}}\n";
+  script += "{\"id\":4,\"verb\":\"mine\",\"session\":\"a\"}\n";
+  script += "{\"id\":5,\"verb\":\"mine\",\"session\":\"b\"}\n";
+  script += "{\"id\":6,\"verb\":\"dataset_list\"}\n";
+  script += "{\"id\":7,\"verb\":\"dataset_drop\",\"dataset\":\"shared\"}\n";
+  script += "{\"id\":8,\"verb\":\"close\",\"session\":\"a\"}\n";
+  script += "{\"id\":9,\"verb\":\"close\",\"session\":\"b\"}\n";
+  script += "{\"id\":10,\"verb\":\"dataset_drop\",\"dataset\":\"shared\"}\n";
+  script += "{\"id\":11,\"verb\":\"stats\"}\n";
+
+  const std::string output = RunScript(script, ServeConfig{});
+  EXPECT_EQ(output, RunScript(script, ServeConfig{}))
+      << "catalog verbs broke script determinism";
+  const std::vector<std::string> lines = SplitString(output, '\n');
+  ASSERT_GE(lines.size(), 11u) << output;
+
+  // Both shared sessions mine what a private-copy session mines.
+  data::Dataset renamed = datagen::MakeScenarioDataset("synthetic").Value();
+  renamed.name = "shared";
+  Result<core::MiningSession> direct =
+      core::MiningSession::Create(std::move(renamed), FastConfig());
+  ASSERT_TRUE(direct.ok());
+  Result<core::IterationResult> iteration = direct.Value().MineNext();
+  ASSERT_TRUE(iteration.ok());
+  const std::string expected = iteration.Value().location.Describe(
+      direct.Value().dataset().descriptions);
+  EXPECT_EQ(MinedLocation(lines[3]), expected);
+  EXPECT_EQ(MinedLocation(lines[4]), expected);
+
+  // dataset_list reports the shared entry: one pool, two session pins.
+  EXPECT_NE(lines[5].find("\"name\":\"shared\""), std::string::npos);
+  EXPECT_NE(lines[5].find("\"pools\":1"), std::string::npos);
+  EXPECT_NE(lines[5].find("\"sessions\":2"), std::string::npos);
+  // Drop while pinned is a typed Conflict; after closes it succeeds.
+  EXPECT_NE(lines[6].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[6].find("Conflict"), std::string::npos);
+  EXPECT_NE(lines[9].find("\"dropped\":\"shared\""), std::string::npos);
+  // stats carries the (now empty) catalog section.
+  EXPECT_NE(lines[10].find("\"catalog\":{\"datasets\":[],\"bytes_total\":0}"),
+            std::string::npos);
+}
+
 TEST(ServeLoopTest, SkipsCommentsAndAnswersMalformedLines) {
   const std::string script =
       "# a comment\n"

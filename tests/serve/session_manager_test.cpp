@@ -278,6 +278,156 @@ TEST(SessionManagerTest, ExportCsvShapes) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(SessionManagerTest, SixtyFourSessionsShareDatasetAndPoolInstances) {
+  // The tentpole guarantee: 64 sessions opened on one catalog dataset
+  // share a single Dataset and a single ConditionPool instance (pointer
+  // identity), and mining output is byte-identical to sessions that own
+  // private per-session copies.
+  SessionManager manager(ServeConfig{});
+  Result<catalog::PinnedDataset> loaded =
+      manager.catalog()->Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::string ref = loaded.Value().dataset->name;
+
+  constexpr int kSessions = 64;
+  for (int i = 0; i < kSessions; ++i) {
+    Result<SessionInfo> opened =
+        manager.OpenRef("s" + std::to_string(i), ref, FastConfig());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  }
+  // Exactly one catalog entry with one pool and 64 pins.
+  const std::vector<catalog::CatalogEntryInfo> listing =
+      manager.catalog()->List();
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_EQ(listing[0].sessions, 64u);
+  EXPECT_EQ(listing[0].pools, 1u);
+
+  // Pointer identity across all sessions (clones share the originals'
+  // dataset/pool pointers).
+  const data::Dataset* dataset_instance = nullptr;
+  const search::ConditionPool* pool_instance = nullptr;
+  for (int i = 0; i < kSessions; ++i) {
+    Result<core::MiningSession> clone =
+        manager.CloneSession("s" + std::to_string(i));
+    ASSERT_TRUE(clone.ok());
+    if (i == 0) {
+      dataset_instance = clone.Value().shared_dataset().get();
+      pool_instance = clone.Value().shared_condition_pool().get();
+      ASSERT_NE(dataset_instance, nullptr);
+      ASSERT_NE(pool_instance, nullptr);
+    } else {
+      EXPECT_EQ(clone.Value().shared_dataset().get(), dataset_instance);
+      EXPECT_EQ(clone.Value().shared_condition_pool().get(), pool_instance);
+    }
+  }
+
+  // Catalog-shared sessions mine byte-identically to a per-session copy.
+  Result<MineOutcome> shared_mine = manager.Mine("s0", 2, std::nullopt);
+  ASSERT_TRUE(shared_mine.ok());
+  Result<core::MiningSession> copy =
+      core::MiningSession::Create(Synthetic(), FastConfig());
+  ASSERT_TRUE(copy.ok());
+  for (int i = 0; i < 2; ++i) {
+    Result<core::IterationResult> iteration = copy.Value().MineNext();
+    ASSERT_TRUE(iteration.ok());
+    EXPECT_EQ(shared_mine.Value().iterations.at(size_t(i)).location,
+              iteration.Value().location.Describe(
+                  copy.Value().dataset().descriptions));
+  }
+}
+
+TEST(SessionManagerTest, DatasetRefSpillRoundTripsByteIdentically) {
+  // Eviction spills catalog-origin sessions in dataset_ref form (no
+  // embedded dataset); restore resolves through the catalog and mining
+  // continues byte-identically to an unbroken session.
+  const std::string dir = "/tmp/sisd_session_manager_test_ref_spill";
+  std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  ServeConfig config;
+  config.spill_dir = dir;
+  SessionManager manager(config);
+  Result<catalog::PinnedDataset> loaded =
+      manager.catalog()->Intern(Synthetic(), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(
+      manager.OpenRef("s", loaded.Value().dataset->name, FastConfig()).ok());
+  ASSERT_TRUE(manager.Mine("s", 1, std::nullopt).ok());
+  ASSERT_TRUE(manager.Evict("s").ok());
+
+  // The spill snapshot addresses the dataset by fingerprint, not inline.
+  Result<std::string> spilled =
+      serialize::ReadTextFile(manager.SpillPathFor("s"));
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_NE(spilled.Value().find("\"dataset_ref\":"), std::string::npos);
+  EXPECT_EQ(spilled.Value().find("\"dataset\":"), std::string::npos);
+  EXPECT_NE(spilled.Value().find(catalog::FingerprintToHex(
+                loaded.Value().fingerprint)),
+            std::string::npos);
+
+  // Restore-on-touch: identical continuation, and the restored session
+  // shares the catalog instances again.
+  Result<MineOutcome> resumed = manager.Mine("s", 1, std::nullopt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  Result<core::MiningSession> direct =
+      core::MiningSession::Create(Synthetic(), FastConfig());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct.Value().MineNext().ok());
+  Result<core::IterationResult> second = direct.Value().MineNext();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(resumed.Value().iterations.at(0).location,
+            second.Value().location.Describe(
+                direct.Value().dataset().descriptions));
+  Result<core::MiningSession> clone = manager.CloneSession("s");
+  ASSERT_TRUE(clone.ok());
+  EXPECT_EQ(clone.Value().shared_dataset().get(),
+            loaded.Value().dataset.get());
+  // Full state equality with the unbroken session (inline snapshots).
+  EXPECT_EQ(clone.Value().SaveToString(), direct.Value().SaveToString());
+
+  // While the session exists (even spilled), the dataset cannot be
+  // dropped; after close it can.
+  ASSERT_TRUE(manager.Evict("s").ok());
+  EXPECT_EQ(manager.catalog()->Drop(loaded.Value().dataset->name).code(),
+            StatusCode::kConflict);
+  ASSERT_TRUE(manager.Close("s", /*save=*/false, "").ok());
+  EXPECT_TRUE(manager.catalog()->Drop(loaded.Value().dataset->name).ok());
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(SessionManagerTest, InlineRestoreAdoptsCatalogInstances) {
+  // A self-contained (inline) snapshot restored through a catalog that
+  // already holds the same content adopts the shared dataset + pool.
+  SessionManager manager(ServeConfig{});
+  ASSERT_TRUE(manager.Open("s", Synthetic(), FastConfig()).ok());
+  Result<core::MiningSession> clone = manager.CloneSession("s");
+  ASSERT_TRUE(clone.ok());
+  const std::string inline_snapshot = clone.Value().SaveToString();
+  EXPECT_NE(inline_snapshot.find("\"dataset\":"), std::string::npos);
+
+  Result<core::MiningSession> restored =
+      core::MiningSession::RestoreFromString(inline_snapshot,
+                                             manager.catalog().get());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.Value().shared_dataset().get(),
+            clone.Value().shared_dataset().get());
+  EXPECT_EQ(restored.Value().shared_condition_pool().get(),
+            clone.Value().shared_condition_pool().get());
+  ASSERT_TRUE(restored.Value().dataset_origin().has_value());
+
+  // Without a catalog the same snapshot still restores (private copies).
+  Result<core::MiningSession> standalone =
+      core::MiningSession::RestoreFromString(inline_snapshot);
+  ASSERT_TRUE(standalone.ok());
+  EXPECT_NE(standalone.Value().shared_dataset().get(),
+            clone.Value().shared_dataset().get());
+  // A ref-form snapshot without a catalog is a typed error.
+  const std::string ref_snapshot =
+      clone.Value().SaveToString(core::SnapshotForm::kDatasetRef);
+  EXPECT_EQ(core::MiningSession::RestoreFromString(ref_snapshot)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SessionManagerTest, IdleSecondsAccessorAdvancesMonotonically) {
   Result<core::MiningSession> session =
       core::MiningSession::Create(Synthetic(), FastConfig());

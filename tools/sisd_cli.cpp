@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/fingerprint.hpp"
 #include "common/status.hpp"
 #include "common/strings.hpp"
 #include "core/export.hpp"
@@ -35,6 +36,7 @@
 #include "datagen/scenarios.hpp"
 #include "serialize/json.hpp"
 #include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "serve/session_manager.hpp"
 
 namespace sisd {
@@ -48,7 +50,7 @@ USAGE
   sisd_cli export --session FILE [--history OUT.csv]
                   [--ranked OUT.csv [--iteration K]] [--json OUT.json]
   sisd_cli serve [--script FILE] [--max-resident N] [--spill-dir DIR]
-                 [--threads N]
+                 [--threads N] [--catalog-bytes N] [--preload SPEC]...
 
 MINE INPUT
   --csv FILE            CSV file with a header row (types are inferred)
@@ -67,6 +69,9 @@ MINE OPTIONS (defaults = the paper's Cortana settings)
   --splits N            numeric split points per attribute (default 4)
   --top-k N             global ranked-list size (default 150)
   --min-coverage N      minimum subgroup size (default 2)
+  --exclusions          add != set-exclusion conditions for categorical
+                        attributes with 3+ levels (default: the paper's
+                        Cortana alphabet, no exclusions)
   --time-budget SECONDS wall-clock search budget per iteration
   --threads N           scoring threads (0 = auto)
   --gamma X / --eta X   description-length parameters (default 0.1 / 1)
@@ -87,7 +92,10 @@ SERVE
   session server: one JSON request per line from --script FILE (default
   stdin), one JSON response per line on stdout. --max-resident bounds the
   sessions kept in memory (colder ones spill to --spill-dir and restore
-  transparently); --threads sizes the shared scoring pool.
+  transparently); --threads sizes the shared scoring pool. --preload
+  (repeatable) loads a scenario name or PATH=TARGET[,TARGET...] CSV into
+  the dataset catalog at startup, so sessions can open it with
+  {"dataset_ref": NAME} and share one dataset + condition pool.
 )";
 
 struct Args {
@@ -105,7 +113,8 @@ struct Args {
 
 /// Flags that take no value.
 bool IsSwitch(const std::string& name) {
-  return name == "--location-only" || name == "--help" || name == "-h";
+  return name == "--location-only" || name == "--exclusions" ||
+         name == "--help" || name == "-h";
 }
 
 Result<Args> ParseArgs(int argc, char** argv) {
@@ -188,6 +197,9 @@ Result<core::MinerConfig> ConfigFromArgs(const Args& args) {
   config.spread_sparsity = int(sparsity);
   if (args.Find("--location-only") != nullptr) {
     config.mix = core::PatternMix::kLocationOnly;
+  }
+  if (args.Find("--exclusions") != nullptr) {
+    config.search.include_exclusions = true;
   }
   return config;
 }
@@ -350,7 +362,24 @@ Status RunServe(const Args& args) {
     return Status::InvalidArgument("--threads must be >= 0 (0 = auto)");
   }
   config.num_threads = int(threads);
+  SISD_ASSIGN_OR_RETURN(
+      catalog_bytes,
+      FlagInt(args, "--catalog-bytes", (long long)(config.catalog_max_bytes)));
+  if (catalog_bytes < 0) {
+    return Status::InvalidArgument(
+        "--catalog-bytes must be >= 0 (0 = unlimited)");
+  }
+  config.catalog_max_bytes = size_t(catalog_bytes);
   serve::SessionManager manager(config);
+  for (const auto& [flag, value] : args.flags) {
+    if (flag != "--preload") continue;
+    SISD_ASSIGN_OR_RETURN(loaded,
+                          serve::PreloadDataset(*manager.catalog(), value));
+    std::fprintf(stderr, "serve: preloaded '%s' fingerprint=%s bytes=%zu%s\n",
+                 loaded.dataset->name.c_str(),
+                 catalog::FingerprintToHex(loaded.fingerprint).c_str(),
+                 loaded.bytes, loaded.reused ? " (reused)" : "");
+  }
 
   serve::ServeLoopStats stats;
   if (const std::string* script = args.Find("--script")) {

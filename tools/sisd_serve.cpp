@@ -20,10 +20,14 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
+#include "catalog/fingerprint.hpp"
 #include "common/status.hpp"
 #include "common/strings.hpp"
 #include "search/thread_pool.hpp"
 #include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "serve/session_manager.hpp"
 
 namespace sisd {
@@ -47,11 +51,20 @@ SERVICE OPTIONS
                      to in-memory snapshots; 'save' then needs a 'path')
   --threads N        shared scoring-pool workers (default 1, 0 = auto)
   --shards N         shards of the session map (default 8)
+  --catalog-bytes N  dataset-catalog byte budget before LRU drop of
+                     unreferenced datasets (default 0 = unlimited)
+  --preload SPEC     load a dataset into the catalog at startup
+                     (repeatable). SPEC is a scenario name (crime, ...) or
+                     PATH=TARGET[,TARGET...] for a CSV file (ingested
+                     through the streaming chunked reader); sessions then
+                     open it with {"dataset_ref": NAME} and share one
+                     dataset + condition pool.
 
 PROTOCOL
   One JSON request per line; verbs: open, mine, assimilate, history,
-  export, save, evict, close, stats. See docs/PROTOCOL.md for the full
-  schema and worked examples.
+  export, save, evict, close, stats, dataset_load, dataset_list,
+  dataset_drop. See docs/PROTOCOL.md for the full schema and worked
+  examples.
 )";
 
 struct ServeArgs {
@@ -59,6 +72,7 @@ struct ServeArgs {
   std::optional<std::string> script;
   std::optional<int> tcp_port;
   bool accept_once = false;
+  std::vector<std::string> preloads;
 };
 
 Result<long long> ParseIntFlag(const std::string& flag,
@@ -115,6 +129,15 @@ Result<ServeArgs> ParseArgs(int argc, char** argv) {
         return Status::InvalidArgument("--shards must be in 1..4096");
       }
       args.config.num_shards = size_t(n);
+    } else if (flag == "--catalog-bytes") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 0) {
+        return Status::InvalidArgument(
+            "--catalog-bytes must be >= 0 (0 = unlimited)");
+      }
+      args.config.catalog_max_bytes = size_t(n);
+    } else if (flag == "--preload") {
+      args.preloads.push_back(value);
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -137,6 +160,21 @@ int Main(int argc, char** argv) {
     return 2;
   }
   serve::SessionManager manager(args.Value().config);
+  for (const std::string& spec : args.Value().preloads) {
+    Result<catalog::PinnedDataset> loaded =
+        serve::PreloadDataset(*manager.catalog(), spec);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: preload '%s': %s\n", spec.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "sisd_serve: preloaded '%s' fingerprint=%s bytes=%zu%s\n",
+                 loaded.Value().dataset->name.c_str(),
+                 catalog::FingerprintToHex(loaded.Value().fingerprint).c_str(),
+                 loaded.Value().bytes,
+                 loaded.Value().reused ? " (reused)" : "");
+  }
   std::fprintf(stderr,
                "sisd_serve: max_resident=%zu shards=%zu workers=%zu "
                "spill=%s\n",
