@@ -146,6 +146,15 @@ int Main(int argc, char** argv) {
                                  : RunCopyStorm(scenario, sessions);
 
   serialize::JsonValue out = serialize::JsonValue::Object();
+  // Minimal provenance context mirroring the micro-bench harness: the
+  // bench scripts refuse to record numbers from a non-release build.
+  serialize::JsonValue context = serialize::JsonValue::Object();
+#ifdef NDEBUG
+  context.Set("library_build_type", serialize::JsonValue::Str("release"));
+#else
+  context.Set("library_build_type", serialize::JsonValue::Str("debug"));
+#endif
+  out.Set("context", std::move(context));
   out.Set("mode", serialize::JsonValue::Str(mode));
   out.Set("scenario", serialize::JsonValue::Str(scenario));
   out.Set("sessions", serialize::JsonValue::Int(sessions));

@@ -1,11 +1,11 @@
-// Microbenchmarks (google-benchmark) of the background-model primitives:
+// Microbenchmarks (bench/harness) of the background-model primitives:
 // location updates (Theorem 1), spread updates (Theorem 2), the Eq. 12
 // root finder, location-IC evaluation (fast single-group path vs general
 // mixture path), and full coordinate-descent refits. Parameterized over
 // target dimensionality to expose the O(dy^3) factorization cost that
 // drives the paper's Table II.
 
-#include <benchmark/benchmark.h>
+#include "harness/microbench.hpp"
 
 #include "model/assimilator.hpp"
 #include "model/background_model.hpp"
@@ -44,7 +44,7 @@ Extension MiddleExtension(size_t n, size_t count) {
   return ext;
 }
 
-void BM_LocationUpdate(benchmark::State& state) {
+void BM_LocationUpdate(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 2000;
   const Extension ext = MiddleExtension(n, 400);
@@ -54,12 +54,12 @@ void BM_LocationUpdate(benchmark::State& state) {
     model::BackgroundModel model = MakeModel(n, d, 2);
     const Vector target = rng.GaussianVector(d);
     state.ResumeTiming();
-    benchmark::DoNotOptimize(model.UpdateLocation(ext, target));
+    sisd::bench::DoNotOptimize(model.UpdateLocation(ext, target));
   }
 }
-BENCHMARK(BM_LocationUpdate)->Arg(1)->Arg(5)->Arg(16)->Arg(64)->Arg(124);
+SISD_BENCHMARK(BM_LocationUpdate)->Arg(1)->Arg(5)->Arg(16)->Arg(64)->Arg(124);
 
-void BM_SpreadUpdate(benchmark::State& state) {
+void BM_SpreadUpdate(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 2000;
   const Extension ext = MiddleExtension(n, 400);
@@ -70,12 +70,12 @@ void BM_SpreadUpdate(benchmark::State& state) {
     const Vector w = rng.UnitSphere(d);
     const Vector anchor = rng.GaussianVector(d);
     state.ResumeTiming();
-    benchmark::DoNotOptimize(model.UpdateSpread(ext, w, anchor, 0.5));
+    sisd::bench::DoNotOptimize(model.UpdateSpread(ext, w, anchor, 0.5));
   }
 }
-BENCHMARK(BM_SpreadUpdate)->Arg(1)->Arg(5)->Arg(16)->Arg(64)->Arg(124);
+SISD_BENCHMARK(BM_SpreadUpdate)->Arg(1)->Arg(5)->Arg(16)->Arg(64)->Arg(124);
 
-void BM_SolveSpreadLambda(benchmark::State& state) {
+void BM_SolveSpreadLambda(sisd::bench::State& state) {
   const size_t groups = static_cast<size_t>(state.range(0));
   std::vector<model::DirectionalTerm> terms;
   random::Rng rng(5);
@@ -83,12 +83,12 @@ void BM_SolveSpreadLambda(benchmark::State& state) {
     terms.push_back({rng.Uniform(0.2, 3.0), rng.Gaussian(), 50});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model::SolveSpreadLambda(terms, 0.7));
+    sisd::bench::DoNotOptimize(model::SolveSpreadLambda(terms, 0.7));
   }
 }
-BENCHMARK(BM_SolveSpreadLambda)->Arg(1)->Arg(8)->Arg(64);
+SISD_BENCHMARK(BM_SolveSpreadLambda)->Arg(1)->Arg(8)->Arg(64);
 
-void BM_LocationIcSingleGroupFastPath(benchmark::State& state) {
+void BM_LocationIcSingleGroupFastPath(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 2000;
   model::BackgroundModel model = MakeModel(n, d, 6);
@@ -97,12 +97,12 @@ void BM_LocationIcSingleGroupFastPath(benchmark::State& state) {
   const Vector observed = rng.GaussianVector(d);
   (void)si::LocationIC(model, ext, observed);  // warm the Cholesky cache
   for (auto _ : state) {
-    benchmark::DoNotOptimize(si::LocationIC(model, ext, observed));
+    sisd::bench::DoNotOptimize(si::LocationIC(model, ext, observed));
   }
 }
-BENCHMARK(BM_LocationIcSingleGroupFastPath)->Arg(5)->Arg(16)->Arg(124);
+SISD_BENCHMARK(BM_LocationIcSingleGroupFastPath)->Arg(5)->Arg(16)->Arg(124);
 
-void BM_LocationIcMixturePath(benchmark::State& state) {
+void BM_LocationIcMixturePath(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 2000;
   model::BackgroundModel model = MakeModel(n, d, 8);
@@ -114,12 +114,12 @@ void BM_LocationIcMixturePath(benchmark::State& state) {
   const Extension probe = MiddleExtension(n, 1200);
   const Vector observed = rng.GaussianVector(d);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(si::LocationIC(model, probe, observed));
+    sisd::bench::DoNotOptimize(si::LocationIC(model, probe, observed));
   }
 }
-BENCHMARK(BM_LocationIcMixturePath)->Arg(5)->Arg(16)->Arg(124);
+SISD_BENCHMARK(BM_LocationIcMixturePath)->Arg(5)->Arg(16)->Arg(124);
 
-void BM_RefitFromScratch(benchmark::State& state) {
+void BM_RefitFromScratch(sisd::bench::State& state) {
   const int num_patterns = static_cast<int>(state.range(0));
   const size_t d = 16;
   const size_t n = 1060;
@@ -134,12 +134,12 @@ void BM_RefitFromScratch(benchmark::State& state) {
     assimilator.AddLocationPattern(ext, rng.GaussianVector(d)).CheckOK();
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(assimilator.RefitFromScratch(100, 1e-9));
+    sisd::bench::DoNotOptimize(assimilator.RefitFromScratch(100, 1e-9));
   }
 }
-BENCHMARK(BM_RefitFromScratch)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
+SISD_BENCHMARK(BM_RefitFromScratch)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
 
-void BM_SpreadIc(benchmark::State& state) {
+void BM_SpreadIc(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 2000;
   model::BackgroundModel model = MakeModel(n, d, 12);
@@ -147,11 +147,11 @@ void BM_SpreadIc(benchmark::State& state) {
   random::Rng rng(13);
   const Vector w = rng.UnitSphere(d);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(si::SpreadIC(model, ext, w, 0.8));
+    sisd::bench::DoNotOptimize(si::SpreadIC(model, ext, w, 0.8));
   }
 }
-BENCHMARK(BM_SpreadIc)->Arg(5)->Arg(16)->Arg(124);
+SISD_BENCHMARK(BM_SpreadIc)->Arg(5)->Arg(16)->Arg(124);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SISD_BENCHMARK_MAIN();

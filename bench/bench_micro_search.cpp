@@ -1,8 +1,8 @@
-// Microbenchmarks (google-benchmark) of the search machinery: extension
+// Microbenchmarks (bench/harness) of the search machinery: extension
 // intersection throughput, condition-pool construction, SI quality
 // evaluation, one full beam-search iteration, and the sphere optimizer.
 
-#include <benchmark/benchmark.h>
+#include "harness/microbench.hpp"
 
 #include "core/miner.hpp"
 #include "datagen/crime.hpp"
@@ -16,7 +16,7 @@ namespace {
 
 using namespace sisd;
 
-void BM_ExtensionIntersection(benchmark::State& state) {
+void BM_ExtensionIntersection(sisd::bench::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   random::Rng rng(1);
   pattern::Extension a(n), b(n);
@@ -25,22 +25,22 @@ void BM_ExtensionIntersection(benchmark::State& state) {
     if (rng.Bernoulli(0.3)) b.Insert(i);
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pattern::Extension::IntersectionCount(a, b));
+    sisd::bench::DoNotOptimize(pattern::Extension::IntersectionCount(a, b));
   }
   state.SetItemsProcessed(state.iterations() * int64_t(n));
 }
-BENCHMARK(BM_ExtensionIntersection)->Arg(620)->Arg(2220)->Arg(100000);
+SISD_BENCHMARK(BM_ExtensionIntersection)->Arg(620)->Arg(2220)->Arg(100000);
 
-void BM_ConditionPoolBuild(benchmark::State& state) {
+void BM_ConditionPoolBuild(sisd::bench::State& state) {
   const datagen::CrimeData data = datagen::MakeCrimeLike();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
+    sisd::bench::DoNotOptimize(
         search::ConditionPool::Build(data.dataset.descriptions, 4));
   }
 }
-BENCHMARK(BM_ConditionPoolBuild);
+SISD_BENCHMARK(BM_ConditionPoolBuild);
 
-void BM_SiQualityEvaluation(benchmark::State& state) {
+void BM_SiQualityEvaluation(sisd::bench::State& state) {
   const datagen::CrimeData data = datagen::MakeCrimeLike();
   Result<model::BackgroundModel> model =
       model::BackgroundModel::CreateFromData(data.dataset.targets);
@@ -52,13 +52,13 @@ void BM_SiQualityEvaluation(benchmark::State& state) {
   for (auto _ : state) {
     const linalg::Vector mean =
         pattern::SubgroupMean(data.dataset.targets, ext);
-    benchmark::DoNotOptimize(
+    sisd::bench::DoNotOptimize(
         si::ScoreLocation(model.Value(), ext, mean, intention.size(), dl));
   }
 }
-BENCHMARK(BM_SiQualityEvaluation);
+SISD_BENCHMARK(BM_SiQualityEvaluation);
 
-void BM_BeamSearchSyntheticFull(benchmark::State& state) {
+void BM_BeamSearchSyntheticFull(sisd::bench::State& state) {
   const datagen::SyntheticData data = datagen::MakeSyntheticEmbedded();
   Result<model::BackgroundModel> model =
       model::BackgroundModel::CreateFromData(data.dataset.targets);
@@ -78,13 +78,13 @@ void BM_BeamSearchSyntheticFull(benchmark::State& state) {
             .si;
       };
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
+    sisd::bench::DoNotOptimize(
         search::BeamSearch(data.dataset.descriptions, pool, config, quality));
   }
 }
-BENCHMARK(BM_BeamSearchSyntheticFull)->Unit(benchmark::kMillisecond);
+SISD_BENCHMARK(BM_BeamSearchSyntheticFull)->Unit(sisd::bench::kMillisecond);
 
-void BM_BeamSearchCrimeDepth2(benchmark::State& state) {
+void BM_BeamSearchCrimeDepth2(sisd::bench::State& state) {
   const datagen::CrimeData data = datagen::MakeCrimeLike();
   Result<model::BackgroundModel> model =
       model::BackgroundModel::CreateFromData(data.dataset.targets);
@@ -106,17 +106,17 @@ void BM_BeamSearchCrimeDepth2(benchmark::State& state) {
             .si;
       };
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
+    sisd::bench::DoNotOptimize(
         search::BeamSearch(data.dataset.descriptions, pool, config, quality));
   }
 }
-BENCHMARK(BM_BeamSearchCrimeDepth2)
+SISD_BENCHMARK(BM_BeamSearchCrimeDepth2)
     ->Arg(5)
     ->Arg(20)
     ->Arg(40)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(sisd::bench::kMillisecond);
 
-void BM_SphereOptimizer(benchmark::State& state) {
+void BM_SphereOptimizer(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 500;
   random::Rng rng(2);
@@ -131,16 +131,16 @@ void BM_SphereOptimizer(benchmark::State& state) {
   optimize::SphereOptimizerConfig config;
   config.num_random_starts = 2;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(optimize::MaximizeOnSphere(objective, config));
+    sisd::bench::DoNotOptimize(optimize::MaximizeOnSphere(objective, config));
   }
 }
-BENCHMARK(BM_SphereOptimizer)
+SISD_BENCHMARK(BM_SphereOptimizer)
     ->Arg(2)
     ->Arg(5)
     ->Arg(16)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(sisd::bench::kMillisecond);
 
-void BM_PairSweep(benchmark::State& state) {
+void BM_PairSweep(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 412;
   random::Rng rng(3);
@@ -153,11 +153,11 @@ void BM_PairSweep(benchmark::State& state) {
   for (size_t i = 0; i < 100; ++i) ext.Insert(i);
   optimize::SpreadObjective objective(model.Value(), ext, y);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(optimize::MaximizePairSparse(objective, nullptr));
+    sisd::bench::DoNotOptimize(optimize::MaximizePairSparse(objective, nullptr));
   }
 }
-BENCHMARK(BM_PairSweep)->Arg(5)->Arg(16)->Unit(benchmark::kMillisecond);
+SISD_BENCHMARK(BM_PairSweep)->Arg(5)->Arg(16)->Unit(sisd::bench::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SISD_BENCHMARK_MAIN();

@@ -1,4 +1,4 @@
-// End-to-end benchmarks of the batch evaluation engine (google-benchmark):
+// End-to-end benchmarks of the batch evaluation engine (bench/harness):
 //
 //  - BM_EngineBeamSearchCrimeDepth2: the engine-scored counterpart of
 //    bench_micro_search's BM_BeamSearchCrimeDepth2 (identical search
@@ -13,7 +13,7 @@
 // Regenerate the tracked snapshot with scripts/bench_baseline.sh, which
 // merges this binary's output into BENCH_*.json.
 
-#include <benchmark/benchmark.h>
+#include "harness/microbench.hpp"
 
 #include "core/miner.hpp"
 #include "datagen/crime.hpp"
@@ -34,7 +34,7 @@ search::SearchConfig CrimeDepth2Config(int beam_width, int num_threads) {
   return config;
 }
 
-void BM_EngineBeamSearchCrimeDepth2(benchmark::State& state) {
+void BM_EngineBeamSearchCrimeDepth2(sisd::bench::State& state) {
   const datagen::CrimeData data = datagen::MakeCrimeLike();
   Result<model::BackgroundModel> model =
       model::BackgroundModel::CreateFromData(data.dataset.targets);
@@ -50,18 +50,18 @@ void BM_EngineBeamSearchCrimeDepth2(benchmark::State& state) {
                                           data.dataset.targets, dl);
     const search::SearchResult result = search::BeamSearch(
         data.dataset.descriptions, pool, config, evaluator);
-    benchmark::DoNotOptimize(result);
+    sisd::bench::DoNotOptimize(result);
     evaluated += result.num_evaluated;
   }
   state.SetItemsProcessed(int64_t(evaluated));
 }
-BENCHMARK(BM_EngineBeamSearchCrimeDepth2)
+SISD_BENCHMARK(BM_EngineBeamSearchCrimeDepth2)
     ->Arg(5)
     ->Arg(20)
     ->Arg(40)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(sisd::bench::kMillisecond);
 
-void BM_EngineBeamSearchCrimeThreads(benchmark::State& state) {
+void BM_EngineBeamSearchCrimeThreads(sisd::bench::State& state) {
   const datagen::CrimeData data = datagen::MakeCrimeLike();
   Result<model::BackgroundModel> model =
       model::BackgroundModel::CreateFromData(data.dataset.targets);
@@ -77,18 +77,18 @@ void BM_EngineBeamSearchCrimeThreads(benchmark::State& state) {
                                           data.dataset.targets, dl);
     const search::SearchResult result = search::BeamSearch(
         data.dataset.descriptions, pool, config, evaluator);
-    benchmark::DoNotOptimize(result);
+    sisd::bench::DoNotOptimize(result);
     evaluated += result.num_evaluated;
   }
   state.SetItemsProcessed(int64_t(evaluated));
 }
-BENCHMARK(BM_EngineBeamSearchCrimeThreads)
+SISD_BENCHMARK(BM_EngineBeamSearchCrimeThreads)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(sisd::bench::kMillisecond);
 
-void BM_MinerMineNext(benchmark::State& state) {
+void BM_MinerMineNext(sisd::bench::State& state) {
   datagen::CrimeConfig data_config;
   data_config.num_rows = static_cast<size_t>(state.range(0));
   data_config.num_descriptions = static_cast<size_t>(state.range(1));
@@ -116,7 +116,7 @@ void BM_MinerMineNext(benchmark::State& state) {
   }
   state.SetItemsProcessed(int64_t(evaluated));
 }
-BENCHMARK(BM_MinerMineNext)
+SISD_BENCHMARK(BM_MinerMineNext)
     // N rows x M descriptions sweep, single-threaded.
     ->Args({500, 30, 1})
     ->Args({500, 122, 1})
@@ -125,8 +125,8 @@ BENCHMARK(BM_MinerMineNext)
     // Thread scaling at the paper-sized shape.
     ->Args({1994, 122, 2})
     ->Args({1994, 122, 4})
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(sisd::bench::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SISD_BENCHMARK_MAIN();

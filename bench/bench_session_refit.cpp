@@ -1,4 +1,4 @@
-// Session-refit benchmarks (google-benchmark): the cost of keeping the
+// Session-refit benchmarks (bench/harness): the cost of keeping the
 // background model current as a persistent session assimilates patterns.
 //
 // Three families, parameterized over target dimensionality dy (the paper's
@@ -18,7 +18,7 @@
 //
 // scripts/bench_session.sh records these into BENCH_session.json.
 
-#include <benchmark/benchmark.h>
+#include "harness/microbench.hpp"
 
 #include "linalg/cholesky.hpp"
 #include "model/assimilator.hpp"
@@ -61,7 +61,7 @@ Extension RangeExtension(size_t n, size_t begin, size_t count) {
 /// recomputes each affected group's factorization from scratch (the cost
 /// profile of the old invalidation path).
 template <bool refactorize>
-void SpreadAssimilateBench(benchmark::State& state) {
+void SpreadAssimilateBench(sisd::bench::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const size_t n = 2000;
   const Extension ext = RangeExtension(n, n / 4, 400);
@@ -76,33 +76,33 @@ void SpreadAssimilateBench(benchmark::State& state) {
     const double target =
         0.7 * model.ExpectedDirectionalVariance(ext, w, anchor);
     state.ResumeTiming();
-    benchmark::DoNotOptimize(model.UpdateSpread(ext, w, anchor, target));
+    sisd::bench::DoNotOptimize(model.UpdateSpread(ext, w, anchor, target));
     if constexpr (refactorize) {
       for (size_t g = 0; g < model.num_groups(); ++g) {
         Result<linalg::Cholesky> fresh =
             linalg::Cholesky::Compute(model.group(g).sigma);
-        benchmark::DoNotOptimize(fresh.ok());
+        sisd::bench::DoNotOptimize(fresh.ok());
       }
     } else {
       // The incremental path keeps every factor warm: touching them is
       // cache-hit cheap (this is what the next scoring pass sees).
       for (size_t g = 0; g < model.num_groups(); ++g) {
-        benchmark::DoNotOptimize(&model.GroupCholesky(g));
+        sisd::bench::DoNotOptimize(&model.GroupCholesky(g));
       }
     }
   }
 }
 
-void BM_SpreadAssimilate_Incremental(benchmark::State& state) {
+void BM_SpreadAssimilate_Incremental(sisd::bench::State& state) {
   SpreadAssimilateBench<false>(state);
 }
-BENCHMARK(BM_SpreadAssimilate_Incremental)
+SISD_BENCHMARK(BM_SpreadAssimilate_Incremental)
     ->Arg(5)->Arg(16)->Arg(64)->Arg(124);
 
-void BM_SpreadAssimilate_Refactorize(benchmark::State& state) {
+void BM_SpreadAssimilate_Refactorize(sisd::bench::State& state) {
   SpreadAssimilateBench<true>(state);
 }
-BENCHMARK(BM_SpreadAssimilate_Refactorize)
+SISD_BENCHMARK(BM_SpreadAssimilate_Refactorize)
     ->Arg(5)->Arg(16)->Arg(64)->Arg(124);
 
 /// Builds an assimilator with k overlapping location+spread constraints
@@ -131,7 +131,7 @@ model::PatternAssimilator AccumulateConstraints(size_t k, size_t d) {
   return assimilator;
 }
 
-void BM_RefitWarm(benchmark::State& state) {
+void BM_RefitWarm(sisd::bench::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
   const size_t d = 16;
   const model::PatternAssimilator base = AccumulateConstraints(k, d);
@@ -140,12 +140,12 @@ void BM_RefitWarm(benchmark::State& state) {
     model::PatternAssimilator assimilator = base;
     state.ResumeTiming();
     Result<model::RefitStats> stats = assimilator.Refit(100, 1e-9);
-    benchmark::DoNotOptimize(stats.ok());
+    sisd::bench::DoNotOptimize(stats.ok());
   }
 }
-BENCHMARK(BM_RefitWarm)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+SISD_BENCHMARK(BM_RefitWarm)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
 
-void BM_RefitScratch(benchmark::State& state) {
+void BM_RefitScratch(sisd::bench::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
   const size_t d = 16;
   const model::PatternAssimilator base = AccumulateConstraints(k, d);
@@ -155,11 +155,11 @@ void BM_RefitScratch(benchmark::State& state) {
     state.ResumeTiming();
     Result<model::RefitStats> stats =
         assimilator.RefitFromScratch(100, 1e-9);
-    benchmark::DoNotOptimize(stats.ok());
+    sisd::bench::DoNotOptimize(stats.ok());
   }
 }
-BENCHMARK(BM_RefitScratch)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+SISD_BENCHMARK(BM_RefitScratch)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SISD_BENCHMARK_MAIN();

@@ -1,0 +1,415 @@
+#include "harness/microbench.hpp"
+
+#include <sys/utsname.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serialize/json.hpp"
+
+namespace sisd::bench {
+
+namespace {
+
+/// Iteration-count backstop (Google Benchmark uses the same cap).
+constexpr int64_t kMaxIterations = 1000000000;
+
+double NowRealSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);
+}
+
+double NowCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);
+}
+
+std::vector<std::unique_ptr<Benchmark>>& Registry() {
+  static std::vector<std::unique_ptr<Benchmark>> registry;
+  return registry;
+}
+
+struct InstanceResult {
+  std::string name;
+  size_t family_index = 0;
+  size_t instance_index = 0;
+  TimeUnit unit = kNanosecond;
+  int64_t iterations = 0;
+  double real_time = 0.0;  ///< per iteration, in `unit`
+  double cpu_time = 0.0;   ///< per iteration, in `unit`
+  bool has_items = false;
+  double items_per_second = 0.0;
+};
+
+const char* UnitSuffix(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+double UnitPerSecond(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return 1e9;
+    case kMicrosecond: return 1e6;
+    case kMillisecond: return 1e3;
+    case kSecond: return 1.0;
+  }
+  return 1e9;
+}
+
+std::string InstanceName(const Benchmark& family,
+                         const std::vector<int64_t>& args) {
+  std::string name = family.name();
+  for (int64_t a : args) {
+    name += '/';
+    name += std::to_string(a);
+  }
+  return name;
+}
+
+/// Reads a whole small file (sysfs/procfs); empty string when unreadable.
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::string();
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string Trimmed(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  return s;
+}
+
+/// Parses sysfs cache sizes like "32K" / "4M" into bytes.
+int64_t ParseCacheSize(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  int64_t scale = 1;
+  if (end != nullptr) {
+    if (*end == 'K' || *end == 'k') scale = 1024;
+    if (*end == 'M' || *end == 'm') scale = 1024 * 1024;
+  }
+  return int64_t(value * double(scale));
+}
+
+/// Number of CPUs in a sysfs cpu list like "0", "0-3" or "0,2,4-7".
+int64_t CountCpuList(const std::string& text) {
+  int64_t count = 0;
+  const char* p = text.c_str();
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const long first = std::strtol(p, &end, 10);
+    long last = first;
+    if (*end == '-') last = std::strtol(end + 1, &end, 10);
+    count += last - first + 1;
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return count > 0 ? count : 1;
+}
+
+serialize::JsonValue CollectCaches() {
+  serialize::JsonValue caches = serialize::JsonValue::Array();
+  for (int index = 0; index < 16; ++index) {
+    const std::string dir =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    const std::string type = Trimmed(SlurpFile(dir + "/type"));
+    if (type.empty()) break;
+    serialize::JsonValue entry = serialize::JsonValue::Object();
+    entry.Set("type", serialize::JsonValue::Str(type));
+    entry.Set("level",
+              serialize::JsonValue::Int(
+                  std::strtol(SlurpFile(dir + "/level").c_str(), nullptr, 10)));
+    entry.Set("size", serialize::JsonValue::Int(
+                          ParseCacheSize(SlurpFile(dir + "/size"))));
+    entry.Set("num_sharing",
+              serialize::JsonValue::Int(
+                  CountCpuList(SlurpFile(dir + "/shared_cpu_list"))));
+    caches.Append(std::move(entry));
+  }
+  return caches;
+}
+
+std::string IsoDateNow() {
+  const time_t now = time(nullptr);
+  tm parts{};
+  localtime_r(&now, &parts);
+  char datetime[32];
+  strftime(datetime, sizeof(datetime), "%Y-%m-%dT%H:%M:%S", &parts);
+  const int offset_minutes = int(parts.tm_gmtoff / 60);
+  char zone[16];
+  std::snprintf(zone, sizeof(zone), "%+03d:%02d", offset_minutes / 60,
+                std::abs(offset_minutes) % 60);
+  return std::string(datetime) + zone;
+}
+
+int64_t CpuMhz() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        return int64_t(std::strtod(line.c_str() + colon + 1, nullptr));
+      }
+    }
+  }
+  return 0;
+}
+
+bool CpuScalingEnabled() {
+  const std::string governor = Trimmed(SlurpFile(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"));
+  return !governor.empty() && governor != "performance";
+}
+
+/// The honest build-type report: this TU is compiled with the same flags as
+/// the benchmarks, so NDEBUG here means the whole timing path is a release
+/// build (the point of replacing the debug-built system library).
+const char* LibraryBuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+serialize::JsonValue CollectContext(const char* executable) {
+  serialize::JsonValue context = serialize::JsonValue::Object();
+  context.Set("date", serialize::JsonValue::Str(IsoDateNow()));
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) {
+    std::strcpy(host, "unknown");
+  }
+  context.Set("host_name", serialize::JsonValue::Str(host));
+  context.Set("executable", serialize::JsonValue::Str(executable));
+  context.Set("num_cpus",
+              serialize::JsonValue::Int(sysconf(_SC_NPROCESSORS_ONLN)));
+  context.Set("mhz_per_cpu", serialize::JsonValue::Int(CpuMhz()));
+  context.Set("cpu_scaling_enabled",
+              serialize::JsonValue::Bool(CpuScalingEnabled()));
+  context.Set("caches", CollectCaches());
+  double loads[3] = {0.0, 0.0, 0.0};
+  serialize::JsonValue load_avg = serialize::JsonValue::Array();
+  if (getloadavg(loads, 3) == 3) {
+    for (double l : loads) load_avg.Append(serialize::JsonValue::Double(l));
+  }
+  context.Set("load_avg", std::move(load_avg));
+  context.Set("library_build_type",
+              serialize::JsonValue::Str(LibraryBuildType()));
+  return context;
+}
+
+/// Runs one benchmark instance, growing the iteration count until the
+/// measured real time reaches `min_time_s`.
+InstanceResult RunInstance(const Benchmark& family,
+                           const std::vector<int64_t>& args,
+                           double min_time_s) {
+  int64_t iters = 1;
+  double real_s = 0.0;
+  double cpu_s = 0.0;
+  int64_t items = 0;
+  for (;;) {
+    State state(args, iters);
+    family.fn()(state);
+    real_s = state.real_seconds();
+    cpu_s = state.cpu_seconds();
+    items = state.items_processed();
+    if (real_s >= min_time_s || iters >= kMaxIterations) break;
+    double multiplier = min_time_s * 1.4 / std::max(real_s, 1e-9);
+    multiplier = std::clamp(multiplier, 1.5, 10.0);
+    iters = std::min(int64_t(double(iters) * multiplier) + 1, kMaxIterations);
+  }
+
+  InstanceResult result;
+  result.name = InstanceName(family, args);
+  result.unit = family.unit();
+  result.iterations = iters;
+  const double scale = UnitPerSecond(family.unit());
+  result.real_time = real_s * scale / double(iters);
+  result.cpu_time = cpu_s * scale / double(iters);
+  if (items > 0) {
+    result.has_items = true;
+    result.items_per_second = double(items) / std::max(cpu_s, 1e-12);
+  }
+  return result;
+}
+
+void ReportConsole(const std::vector<InstanceResult>& results) {
+  size_t width = 10;
+  for (const InstanceResult& r : results) {
+    width = std::max(width, r.name.size());
+  }
+  const std::string rule(width + 44, '-');
+  std::printf("%s\n%-*s %15s %15s %12s\n%s\n", rule.c_str(), int(width),
+              "Benchmark", "Time", "CPU", "Iterations", rule.c_str());
+  for (const InstanceResult& r : results) {
+    std::printf("%-*s %13.4g %s %13.4g %s %12lld\n", int(width),
+                r.name.c_str(), r.real_time, UnitSuffix(r.unit), r.cpu_time,
+                UnitSuffix(r.unit), static_cast<long long>(r.iterations));
+  }
+}
+
+void ReportJson(const serialize::JsonValue& context,
+                const std::vector<InstanceResult>& results) {
+  serialize::JsonValue doc = serialize::JsonValue::Object();
+  doc.Set("context", context);
+  serialize::JsonValue benchmarks = serialize::JsonValue::Array();
+  for (const InstanceResult& r : results) {
+    serialize::JsonValue entry = serialize::JsonValue::Object();
+    entry.Set("name", serialize::JsonValue::Str(r.name));
+    entry.Set("family_index", serialize::JsonValue::Int(r.family_index));
+    entry.Set("per_family_instance_index",
+              serialize::JsonValue::Int(r.instance_index));
+    entry.Set("run_name", serialize::JsonValue::Str(r.name));
+    entry.Set("run_type", serialize::JsonValue::Str("iteration"));
+    entry.Set("repetitions", serialize::JsonValue::Int(1));
+    entry.Set("repetition_index", serialize::JsonValue::Int(0));
+    entry.Set("threads", serialize::JsonValue::Int(1));
+    entry.Set("iterations", serialize::JsonValue::Int(r.iterations));
+    entry.Set("real_time", serialize::JsonValue::Double(r.real_time));
+    entry.Set("cpu_time", serialize::JsonValue::Double(r.cpu_time));
+    entry.Set("time_unit", serialize::JsonValue::Str(UnitSuffix(r.unit)));
+    if (r.has_items) {
+      entry.Set("items_per_second",
+                serialize::JsonValue::Double(r.items_per_second));
+    }
+    benchmarks.Append(std::move(entry));
+  }
+  doc.Set("benchmarks", std::move(benchmarks));
+  std::printf("%s\n", doc.Write(2).c_str());
+}
+
+}  // namespace
+
+int64_t State::range(size_t i) const {
+  SISD_CHECK(i < args_.size());
+  return args_[i];
+}
+
+void State::PauseTiming() {
+  SISD_CHECK(timing_);
+  const double real = NowRealSeconds();
+  const double cpu = NowCpuSeconds();
+  real_accumulated_s_ += real - real_started_at_;
+  cpu_accumulated_s_ += cpu - cpu_started_at_;
+  timing_ = false;
+}
+
+void State::ResumeTiming() {
+  SISD_CHECK(!timing_);
+  timing_ = true;
+  real_started_at_ = NowRealSeconds();
+  cpu_started_at_ = NowCpuSeconds();
+}
+
+void State::StartRun() {
+  real_accumulated_s_ = 0.0;
+  cpu_accumulated_s_ = 0.0;
+  ResumeTiming();
+}
+
+void State::FinishRun() {
+  if (timing_) PauseTiming();
+}
+
+Benchmark* RegisterBenchmark(const char* name, Function fn) {
+  Registry().push_back(std::make_unique<Benchmark>(name, fn));
+  return Registry().back().get();
+}
+
+int RunMain(int argc, char** argv) {
+  bool json = false;
+  double min_time_s = 0.5;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_format=", 0) == 0) {
+      const std::string format = arg.substr(std::strlen("--benchmark_format="));
+      if (format != "json" && format != "console") {
+        std::fprintf(stderr, "unknown --benchmark_format: %s\n",
+                     format.c_str());
+        return 1;
+      }
+      json = format == "json";
+    } else if (arg.rfind("--benchmark_filter=", 0) == 0) {
+      filter = arg.substr(std::strlen("--benchmark_filter="));
+    } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      min_time_s =
+          std::strtod(arg.c_str() + std::strlen("--benchmark_min_time="),
+                      nullptr);
+      if (!(min_time_s > 0.0)) {
+        std::fprintf(stderr, "invalid --benchmark_min_time: %s\n",
+                     arg.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  std::regex filter_regex;
+  if (!filter.empty()) {
+    try {
+      filter_regex = std::regex(filter);
+    } catch (const std::regex_error&) {
+      std::fprintf(stderr, "invalid --benchmark_filter regex: %s\n",
+                   filter.c_str());
+      return 1;
+    }
+  }
+
+  if (!json) {
+    std::fprintf(stderr, "running %zu benchmark families (%s build)\n",
+                 Registry().size(), LibraryBuildType());
+  }
+
+  std::vector<InstanceResult> results;
+  static const std::vector<int64_t> kNoArgs;
+  for (size_t family_index = 0; family_index < Registry().size();
+       ++family_index) {
+    const Benchmark& family = *Registry()[family_index];
+    const auto& arg_lists = family.arg_lists();
+    const size_t instances = arg_lists.empty() ? 1 : arg_lists.size();
+    for (size_t instance = 0; instance < instances; ++instance) {
+      const std::vector<int64_t>& args =
+          arg_lists.empty() ? kNoArgs : arg_lists[instance];
+      const std::string name = InstanceName(family, args);
+      if (!filter.empty() && !std::regex_search(name, filter_regex)) {
+        continue;
+      }
+      InstanceResult result = RunInstance(family, args, min_time_s);
+      result.family_index = family_index;
+      result.instance_index = instance;
+      results.push_back(std::move(result));
+    }
+  }
+
+  if (json) {
+    ReportJson(CollectContext(argc > 0 ? argv[0] : "unknown"), results);
+  } else {
+    ReportConsole(results);
+  }
+  return 0;
+}
+
+}  // namespace sisd::bench

@@ -35,6 +35,11 @@ runs = {}
 for name in os.listdir(tmpdir):
     with open(os.path.join(tmpdir, name)) as f:
         doc = json.load(f)
+    # Refuse to record numbers from a non-release build.
+    build_type = doc["context"]["library_build_type"]
+    if build_type != "release":
+        sys.exit(f"refusing to record: library_build_type={build_type!r} "
+                 f"(expected 'release') in {name}")
     runs[f"{doc['mode']}_{doc['scenario']}"] = doc
 
 def summary_for(scenario):

@@ -24,6 +24,12 @@ raw, out = sys.argv[1:3]
 with open(raw) as f:
     doc = json.load(f)
 
+# Refuse to record numbers measured through a debug-built timing path.
+build_type = doc["context"]["library_build_type"]
+if build_type != "release":
+    sys.exit(f"refusing to record: library_build_type={build_type!r} "
+             f"(expected 'release')")
+
 by_name = {b["name"]: b["real_time"] for b in doc["benchmarks"]}
 
 def ratio(slow, fast):

@@ -1,0 +1,90 @@
+/// \file kernels.cpp
+/// \brief Runtime dispatch for the kernel family.
+///
+/// Resolution order (decided once, on first use):
+///   1. `SISD_KERNELS=scalar|avx2` environment override. Requesting avx2 on
+///      a host without it falls back to scalar with a stderr warning
+///      (mining output is unaffected either way — the implementations are
+///      bit-identical by contract).
+///   2. AVX2 when the build carries it and CPUID reports support.
+///   3. Scalar otherwise.
+
+#include "kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace sisd::kernels {
+
+namespace {
+
+bool RuntimeCpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* ResolveFromEnvironment() {
+  const char* env = std::getenv("SISD_KERNELS");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return &ScalarKernels();
+    if (std::strcmp(env, "avx2") == 0) {
+      if (CpuSupportsAvx2()) return Avx2KernelsOrNull();
+      std::fprintf(stderr,
+                   "sisd: SISD_KERNELS=avx2 requested but AVX2 is "
+                   "unavailable on this host; using scalar kernels\n");
+      return &ScalarKernels();
+    }
+    std::fprintf(stderr,
+                 "sisd: unknown SISD_KERNELS value '%s' (want scalar|avx2); "
+                 "using automatic dispatch\n",
+                 env);
+  }
+  return CpuSupportsAvx2() ? Avx2KernelsOrNull() : &ScalarKernels();
+}
+
+std::atomic<const KernelTable*>& ActiveSlot() {
+  static std::atomic<const KernelTable*> slot{ResolveFromEnvironment()};
+  return slot;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+  return Avx2KernelsOrNull() != nullptr && RuntimeCpuHasAvx2();
+}
+
+const KernelTable& Active() {
+  return *ActiveSlot().load(std::memory_order_relaxed);
+}
+
+Isa ActiveIsa() {
+  return &Active() == &ScalarKernels() ? Isa::kScalar : Isa::kAvx2;
+}
+
+void SetActiveIsaForTesting(Isa isa) {
+  if (isa == Isa::kScalar) {
+    ActiveSlot().store(&ScalarKernels(), std::memory_order_relaxed);
+    return;
+  }
+  SISD_CHECK(CpuSupportsAvx2());
+  ActiveSlot().store(Avx2KernelsOrNull(), std::memory_order_relaxed);
+}
+
+}  // namespace sisd::kernels

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "kernels/kernels.hpp"
+
 namespace sisd::pattern {
 
 Extension::Extension(size_t n, bool full) : n_(n) {
@@ -15,6 +17,7 @@ Extension::Extension(size_t n, bool full) : n_(n) {
 Extension Extension::FromRows(size_t n, const std::vector<size_t>& rows) {
   Extension out(n);
   for (size_t i : rows) out.Insert(i);
+  out.DebugCheckTailMasked();
   return out;
 }
 
@@ -40,22 +43,23 @@ void Extension::Erase(size_t i) {
 
 void Extension::IntersectWith(const Extension& other) {
   SISD_CHECK(n_ == other.n_);
-  size_t count = 0;
-  for (size_t b = 0; b < blocks_.size(); ++b) {
-    blocks_[b] &= other.blocks_[b];
-    count += static_cast<size_t>(std::popcount(blocks_[b]));
-  }
-  count_ = count;
+  DebugCheckTailMasked();
+  other.DebugCheckTailMasked();
+  count_ = kernels::AndInto(blocks_.data(), other.blocks_.data(),
+                            blocks_.data(), blocks_.size());
 }
 
 void Extension::UnionWith(const Extension& other) {
   SISD_CHECK(n_ == other.n_);
-  size_t count = 0;
-  for (size_t b = 0; b < blocks_.size(); ++b) {
-    blocks_[b] |= other.blocks_[b];
-    count += static_cast<size_t>(std::popcount(blocks_[b]));
-  }
-  count_ = count;
+  DebugCheckTailMasked();
+  other.DebugCheckTailMasked();
+  count_ = kernels::OrInto(blocks_.data(), other.blocks_.data(),
+                           blocks_.data(), blocks_.size());
+  // The union of two tail-masked operands is tail-masked; mask defensively
+  // anyway (one AND on the last block) so a corrupted operand cannot
+  // propagate stray tail bits into the kernel-facing invariant.
+  MaskTail();
+  DebugCheckTailMasked();
 }
 
 void Extension::Complement() {
@@ -73,36 +77,31 @@ size_t Extension::IntersectInto(const Extension& a, const Extension& b,
                                 Extension* out) {
   SISD_CHECK(a.n_ == b.n_);
   SISD_CHECK(out != nullptr);
+  a.DebugCheckTailMasked();
+  b.DebugCheckTailMasked();
   out->n_ = a.n_;
   out->blocks_.resize(a.blocks_.size());
-  size_t count = 0;
-  for (size_t i = 0; i < a.blocks_.size(); ++i) {
-    const uint64_t block = a.blocks_[i] & b.blocks_[i];
-    out->blocks_[i] = block;
-    count += static_cast<size_t>(std::popcount(block));
-  }
-  out->count_ = count;
-  return count;
+  out->count_ = kernels::AndInto(a.blocks_.data(), b.blocks_.data(),
+                                 out->blocks_.data(), a.blocks_.size());
+  return out->count_;
 }
 
 size_t Extension::IntersectionCount(const Extension& a, const Extension& b) {
   SISD_CHECK(a.n_ == b.n_);
-  size_t count = 0;
-  for (size_t i = 0; i < a.blocks_.size(); ++i) {
-    count += static_cast<size_t>(std::popcount(a.blocks_[i] & b.blocks_[i]));
-  }
-  return count;
+  a.DebugCheckTailMasked();
+  b.DebugCheckTailMasked();
+  return kernels::CountAnd2(a.blocks_.data(), b.blocks_.data(),
+                            a.blocks_.size());
 }
 
 size_t Extension::IntersectionCountAnd(const Extension& a, const Extension& b,
                                        const Extension& c) {
   SISD_CHECK(a.n_ == b.n_ && a.n_ == c.n_);
-  size_t count = 0;
-  for (size_t i = 0; i < a.blocks_.size(); ++i) {
-    count += static_cast<size_t>(
-        std::popcount(a.blocks_[i] & b.blocks_[i] & c.blocks_[i]));
-  }
-  return count;
+  a.DebugCheckTailMasked();
+  b.DebugCheckTailMasked();
+  c.DebugCheckTailMasked();
+  return kernels::CountAnd3(a.blocks_.data(), b.blocks_.data(),
+                            c.blocks_.data(), a.blocks_.size());
 }
 
 std::vector<size_t> Extension::ToRows() const {
@@ -119,13 +118,17 @@ std::vector<size_t> Extension::ToRows() const {
   return rows;
 }
 
-void Extension::RecountAndMaskTail() {
+void Extension::MaskTail() {
   if (!blocks_.empty()) {
     const size_t tail_bits = n_ & 63;
     if (tail_bits != 0) {
       blocks_.back() &= (uint64_t{1} << tail_bits) - 1;
     }
   }
+}
+
+void Extension::RecountAndMaskTail() {
+  MaskTail();
   size_t count = 0;
   for (uint64_t block : blocks_) {
     count += static_cast<size_t>(std::popcount(block));

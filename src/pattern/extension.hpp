@@ -116,7 +116,19 @@ class Extension {
     return n_ == other.n_ && blocks_ == other.blocks_;
   }
 
+  /// Debug-mode invariant check: bits past `n_` in the last block must be
+  /// zero. The SIMD kernels (popcounts, masked sums) rely on masked tails
+  /// for correctness, so every mutator re-asserts this before returning.
+  void DebugCheckTailMasked() const {
+    SISD_DCHECK(blocks_.empty() || (n_ & 63) == 0 ||
+                (blocks_.back() & ~((uint64_t{1} << (n_ & 63)) - 1)) == 0);
+  }
+
  private:
+  /// Zeroes the tail bits of the last block (no-op when `n_` is a multiple
+  /// of 64). Cheap enough to apply defensively after block-wise mutations.
+  void MaskTail();
+
   void RecountAndMaskTail();
 
   size_t n_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.hpp"
+#include "kernels/kernels.hpp"
 
 namespace sisd::pattern {
 
@@ -61,9 +62,12 @@ void SubgroupMeanInto(const linalg::Matrix& y, const Extension& extension,
   linalg::Vector& mean = *out;
   const size_t cols = y.cols();
   if (cols == 1) {
-    const double* values = y.RowData(0);
-    double sum = 0.0;
-    extension.ForEachRow([values, &sum](size_t i) { sum += values[i]; });
+    // Univariate targets are one contiguous array, so the masked-sum kernel
+    // (SIMD when available) applies directly against the extension's blocks.
+    extension.DebugCheckTailMasked();
+    const double sum =
+        kernels::MaskedSum(y.RowData(0), extension.blocks().data(),
+                           extension.blocks().size());
     mean[0] = sum / double(extension.count());
     return;
   }
@@ -85,13 +89,17 @@ void MaskedSubgroupMeanInto(const linalg::Matrix& y, const Extension& a,
   linalg::Vector& mean = *out;
   const size_t cols = y.cols();
   if (cols == 1) {
-    // Univariate targets are one contiguous array; a plain gather over the
-    // fused bit scan beats the generic row-pointer path noticeably (this is
-    // the single hottest loop of the whole miner).
-    const double* values = y.RowData(0);
-    double sum = 0.0;
-    Extension::ForEachRowAnd(a, b,
-                             [values, &sum](size_t i) { sum += values[i]; });
+    // Univariate targets are one contiguous array; the fused masked-sum
+    // kernel folds the a&b intersection into the accumulation (this is the
+    // single hottest loop of the whole miner). Bit-identical to
+    // SubgroupMean(y, Intersect(a, b)) because both route through the same
+    // lane-contract kernel.
+    SISD_CHECK(a.universe_size() == b.universe_size());
+    a.DebugCheckTailMasked();
+    b.DebugCheckTailMasked();
+    const double sum =
+        kernels::MaskedSumAnd(y.RowData(0), a.blocks().data(),
+                              b.blocks().data(), a.blocks().size());
     mean[0] = sum / double(count);
     return;
   }
