@@ -62,14 +62,29 @@ double WraccQuality(const linalg::Matrix& y, size_t target,
 double DispersionCorrectedQuality(const linalg::Matrix& y, size_t target,
                                   const TargetSummary& summary,
                                   const pattern::Extension& extension) {
+  return DispersionCorrectedFamilyQuality(y, target, summary, extension,
+                                          DispersionCorrectedParams{});
+}
+
+double DispersionCorrectedFamilyQuality(
+    const linalg::Matrix& y, size_t target, const TargetSummary& summary,
+    const pattern::Extension& extension,
+    const DispersionCorrectedParams& params) {
   SISD_CHECK(!extension.empty());
   std::vector<double> values = TargetValues(y, target, extension);
   const double median_i = stats::Quantile(values, 0.5);
   double amd = 0.0;
   for (double v : values) amd += std::fabs(v - median_i);
   amd /= double(values.size());
-  return std::sqrt(double(values.size())) *
-         std::fabs(median_i - summary.median) / (1.0 + amd);
+  const double raw_shift = median_i - summary.median;
+  const double shift =
+      params.two_sided ? std::fabs(raw_shift) : std::max(0.0, raw_shift);
+  const double m = double(values.size());
+  // Keep the historical sqrt() bits for the default exponent.
+  const double size_term = params.size_exponent == 0.5
+                               ? std::sqrt(m)
+                               : std::pow(m, params.size_exponent);
+  return size_term * shift / (1.0 + amd);
 }
 
 search::QualityFunction MakeBaselineQuality(const linalg::Matrix& y,
@@ -87,6 +102,18 @@ search::QualityFunction MakeBaselineQuality(const linalg::Matrix& y,
         return DispersionCorrectedQuality(y, target, summary, extension);
     }
     return 0.0;
+  };
+}
+
+search::QualityFunction MakeDispersionCorrectedQuality(
+    const linalg::Matrix& y, size_t target, DispersionCorrectedParams params) {
+  const TargetSummary summary = TargetSummary::Compute(y, target);
+  // Non-owning: `y` must outlive the returned quality (see header).
+  const linalg::Matrix* targets = &y;
+  return [targets, target, summary, params](
+             const pattern::Intention&, const pattern::Extension& extension) {
+    return DispersionCorrectedFamilyQuality(*targets, target, summary,
+                                            extension, params);
   };
 }
 

@@ -42,10 +42,29 @@ double WraccQuality(const linalg::Matrix& y, size_t target,
 /// \brief Dispersion-corrected quality in the spirit of Boley et al. (2017):
 /// `sqrt(|I|) * |median_I - median| / (1 + AMD_I)` where `AMD_I` is the
 /// subgroup's mean absolute deviation around its median. Rewards subgroups
-/// that are both displaced and tight.
+/// that are both displaced and tight. Equivalent to the family below at its
+/// defaults (`a = 0.5`, two-sided).
 double DispersionCorrectedQuality(const linalg::Matrix& y, size_t target,
                                   const TargetSummary& summary,
                                   const pattern::Extension& extension);
+
+/// \brief Parameters of the dispersion-corrected *family* of Boley et al.
+/// (2017, §2): `f_a(I) = |I|^a * shift / (1 + AMD_I)` where `shift` is the
+/// subgroup's median displacement — two-sided (`|median_I - median|`) or
+/// one-sided (`max(0, median_I - median)`, the paper's
+/// "positive-median-shift" objective). The size exponent `a` trades off
+/// generality against effect size: `a = 1` is impact-weighted (WRAcc-like),
+/// `a = 0.5` the test-statistic normalization, `a = 0` pure effect size.
+struct DispersionCorrectedParams {
+  double size_exponent = 0.5;  ///< `a` in `|I|^a`
+  bool two_sided = true;       ///< absolute vs. positive-only median shift
+};
+
+/// \brief The dispersion-corrected family member selected by `params`.
+double DispersionCorrectedFamilyQuality(const linalg::Matrix& y, size_t target,
+                                        const TargetSummary& summary,
+                                        const pattern::Extension& extension,
+                                        const DispersionCorrectedParams& params);
 
 /// \brief Wraps a baseline measure as a beam-search QualityFunction
 /// (two-sided: absolute value of the measure).
@@ -54,6 +73,12 @@ enum class BaselineMeasure { kZScore, kWracc, kDispersionCorrected };
 search::QualityFunction MakeBaselineQuality(const linalg::Matrix& y,
                                             size_t target,
                                             BaselineMeasure measure);
+
+/// \brief Wraps a dispersion-corrected family member as a beam-search
+/// QualityFunction. The closure holds a non-owning pointer to `y`; the
+/// caller must keep the matrix alive while the quality may be invoked.
+search::QualityFunction MakeDispersionCorrectedQuality(
+    const linalg::Matrix& y, size_t target, DispersionCorrectedParams params);
 
 }  // namespace sisd::baseline
 

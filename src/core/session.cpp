@@ -5,6 +5,7 @@
 
 #include "common/strings.hpp"
 #include "core/session_io.hpp"
+#include "search/optimal_search.hpp"
 #include "search/si_evaluator.hpp"
 #include "serialize/snapshot.hpp"
 
@@ -82,12 +83,29 @@ Result<IterationResult> MiningSession::MineNext() {
   // contexts instead of re-running `si::ScoreLocation` from scratch.
   search::SiLocationEvaluator evaluator(assimilator_.model(),
                                         dataset_->targets, config_.dl);
-  search::SearchResult search_result =
-      search::BeamSearch(dataset_->descriptions, *pool_, config_.search,
-                         evaluator, thread_pool_.get());
+  search::SearchResult search_result;
+  if (config_.use_optimal_search) {
+    search::OptimalConfig optimal;
+    optimal.max_depth = config_.search.max_depth;
+    optimal.min_coverage = config_.search.min_coverage;
+    optimal.time_budget_seconds = config_.search.time_budget_seconds;
+    optimal.num_threads = config_.search.num_threads;
+    search::OptimalResult optimal_result = search::OptimalLocationSearch(
+        dataset_->descriptions, *pool_, assimilator_.model(),
+        dataset_->targets, config_.dl, optimal, thread_pool_.get());
+    search_result.num_evaluated = optimal_result.num_evaluated;
+    search_result.hit_time_budget = !optimal_result.completed;
+    if (!optimal_result.best.intention.empty()) {
+      search_result.top.push_back(std::move(optimal_result.best));
+    }
+  } else {
+    search_result =
+        search::BeamSearch(dataset_->descriptions, *pool_, config_.search,
+                           evaluator, thread_pool_.get());
+  }
   if (search_result.top.empty()) {
     return Status::NotFound(
-        "beam search found no subgroup satisfying the constraints");
+        "search found no subgroup satisfying the constraints");
   }
 
   IterationResult iteration;

@@ -215,6 +215,7 @@ JsonValue EncodeMinerConfig(const MinerConfig& config) {
               ? serialize::EncodeMatrix(*config.prior_covariance)
               : JsonValue::Null());
   out.Set("prior_ridge", JsonValue::Double(config.prior_ridge));
+  out.Set("use_optimal_search", JsonValue::Bool(config.use_optimal_search));
   return out;
 }
 
@@ -256,6 +257,13 @@ Result<MinerConfig> DecodeMinerConfig(const JsonValue& json) {
   }
   SISD_ASSIGN_OR_RETURN(ridge, GetDoubleField(json, "prior_ridge"));
   out.prior_ridge = ridge;
+  // Additive field (optimal-search PR): absent in older snapshots, which
+  // must keep restoring — default off, same as MinerConfig.
+  out.use_optimal_search = false;
+  if (const JsonValue* optimal = json.Find("use_optimal_search")) {
+    SISD_ASSIGN_OR_RETURN(v, optimal->GetBool());
+    out.use_optimal_search = v;
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/status.hpp"
 #include "common/strings.hpp"
 #include "random/rng.hpp"
 
@@ -22,6 +23,8 @@ double Bump(double lat, double lon, double lat0, double lon0, double lat_w,
 }  // namespace
 
 MammalsData MakeMammalsLike(const MammalsConfig& config) {
+  // Nine named species are always planted below.
+  SISD_CHECK(config.num_species >= 9);
   random::Rng rng(config.seed);
   const size_t n = config.grid_rows * config.grid_cols;
 

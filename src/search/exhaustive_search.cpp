@@ -23,6 +23,12 @@ struct DfsContext {
 
   ExhaustiveResult result;
   double incumbent = -std::numeric_limits<double>::infinity();
+  /// Candidates considered since the last deadline check. The deadline is
+  /// re-checked every 256 candidates (the batch engine's chunk
+  /// granularity), not just at node entry — a single node can have
+  /// thousands of children, which used to overshoot the budget by the full
+  /// cost of one expansion.
+  size_t ticks = 0;
 };
 
 /// Expands the node (intention, extension) by conditions with pool index
@@ -46,6 +52,10 @@ void Dfs(DfsContext* ctx, const pattern::Intention& intention,
   const size_t n = ctx->table->num_rows();
   const size_t start = intention.empty() ? 0 : last_cid + 1;
   for (size_t cid = start; cid < ctx->pool->size(); ++cid) {
+    if ((++ctx->ticks & 255) == 0 && Clock::now() >= ctx->deadline) {
+      ctx->result.completed = false;
+      return;
+    }
     const pattern::Condition& cond = ctx->pool->condition(cid);
     if (!intention.AllowsRefinementWith(cond)) continue;
     pattern::Extension child_ext =
@@ -116,13 +126,18 @@ Result<OptimisticBound> MakeUnivariateSiBound(
   const double eta = dl_params.eta;
   const size_t min_cov = std::max<size_t>(min_coverage, 1);
 
-  OptimisticBound bound = [&y, mu, sigma2, gamma, eta, min_cov](
+  // Non-owning: the closure must not outlive the caller's target matrix
+  // (see the header's lifetime note). A pointer makes the capture explicit
+  // — the previous `[&y, ...]` silently bound a reference to whatever
+  // matrix happened to be passed, dangling once it went out of scope.
+  const linalg::Matrix* targets = &y;
+  OptimisticBound bound = [targets, mu, sigma2, gamma, eta, min_cov](
                               const pattern::Intention& intention,
                               const pattern::Extension& extension) {
     // Collect and sort the node's target values.
     std::vector<double> values;
     values.reserve(extension.count());
-    for (size_t i : extension.ToRows()) values.push_back(y(i, 0));
+    for (size_t i : extension.ToRows()) values.push_back((*targets)(i, 0));
     std::sort(values.begin(), values.end());
     const size_t m = values.size();
     if (m < min_cov) return -std::numeric_limits<double>::infinity();

@@ -31,8 +31,9 @@ namespace sisd::search {
 struct ExhaustiveConfig {
   int max_depth = 2;       ///< maximum number of conditions
   size_t min_coverage = 2; ///< minimum subgroup size
-  /// Wall-clock budget; when exceeded the search returns the incumbent and
-  /// reports `completed = false`.
+  /// Wall-clock budget, checked at node entry and every 256 candidates
+  /// (the batch engine's chunk granularity); when exceeded the search
+  /// returns the incumbent and reports `completed = false`.
   double time_budget_seconds = std::numeric_limits<double>::infinity();
 };
 
@@ -74,6 +75,12 @@ ExhaustiveResult ExhaustiveSearch(const data::DataTable& table,
 /// valid, tight bound on descendant SI.
 ///
 /// Fails when the model is multivariate or has evolved past one group.
+///
+/// **Lifetime:** the returned closure holds a non-owning pointer to `y`
+/// (and reads `model`'s parameters by value at construction). The caller
+/// must keep `y` alive for as long as the bound may be invoked; the bound
+/// itself may safely outlive this factory call and any local scope it was
+/// created in.
 Result<OptimisticBound> MakeUnivariateSiBound(
     const model::BackgroundModel& model, const linalg::Matrix& y,
     const si::DescriptionLengthParams& dl_params, size_t min_coverage);

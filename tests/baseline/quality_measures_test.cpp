@@ -74,6 +74,66 @@ TEST(DispersionCorrectedQualityTest, PenalizesSpreadOutSubgroups) {
             DispersionCorrectedQuality(y, 0, summary, loose));
 }
 
+TEST(DispersionCorrectedFamilyTest, DefaultsMatchLegacyMeasureExactly) {
+  const Matrix y = MakeTargets();
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  for (const Extension& ext :
+       {Extension::FromRows(8, {0, 1, 2, 3}), Extension::FromRows(8, {4, 5}),
+        Extension::FromRows(8, {0, 4, 1, 5})}) {
+    EXPECT_EQ(DispersionCorrectedFamilyQuality(y, 0, summary, ext,
+                                               DispersionCorrectedParams{}),
+              DispersionCorrectedQuality(y, 0, summary, ext));
+  }
+}
+
+TEST(DispersionCorrectedFamilyTest, OneSidedIgnoresDownwardShifts) {
+  const Matrix y = MakeTargets();
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  const Extension cold = Extension::FromRows(8, {4, 5, 6, 7});
+  DispersionCorrectedParams one_sided;
+  one_sided.two_sided = false;
+  // The cold subgroup's median sits below the global median: one-sided
+  // quality clamps to zero while the two-sided default rewards it.
+  EXPECT_EQ(DispersionCorrectedFamilyQuality(y, 0, summary, cold, one_sided),
+            0.0);
+  EXPECT_GT(DispersionCorrectedQuality(y, 0, summary, cold), 0.0);
+}
+
+TEST(DispersionCorrectedFamilyTest, SizeExponentControlsCoverageReward) {
+  Matrix y(100, 1);
+  for (size_t i = 0; i < 100; ++i) y(i, 0) = (i < 10) ? 5.0 : 0.0;
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  const Extension small = Extension::FromRows(100, {0, 1});
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < 8; ++i) rows.push_back(i);
+  const Extension big = Extension::FromRows(100, rows);
+
+  // Both subgroups are constant-valued (zero dispersion, same shift), so
+  // quality ratios reduce to the pure size term m^a.
+  for (const double a : {0.0, 0.5, 1.0}) {
+    DispersionCorrectedParams params;
+    params.size_exponent = a;
+    const double q_small =
+        DispersionCorrectedFamilyQuality(y, 0, summary, small, params);
+    const double q_big =
+        DispersionCorrectedFamilyQuality(y, 0, summary, big, params);
+    EXPECT_NEAR(q_big / q_small, std::pow(4.0, a), 1e-9);
+  }
+}
+
+TEST(DispersionCorrectedFamilyTest, FactoryOutlivesItsScope) {
+  const Matrix y = MakeTargets();
+  const Extension hot = Extension::FromRows(8, {0, 1, 2, 3});
+  search::QualityFunction q;
+  {
+    DispersionCorrectedParams params;
+    q = MakeDispersionCorrectedQuality(y, 0, params);
+  }
+  const TargetSummary summary = TargetSummary::Compute(y, 0);
+  EXPECT_EQ(q(pattern::Intention(), hot),
+            DispersionCorrectedQuality(y, 0, summary, hot));
+}
+
 TEST(MakeBaselineQualityTest, WrapsAllMeasures) {
   const Matrix y = MakeTargets();
   const Extension hot = Extension::FromRows(8, {0, 1, 2, 3});

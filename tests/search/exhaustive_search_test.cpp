@@ -188,6 +188,36 @@ TEST(UnivariateSiBoundTest, BoundDominatesAllRefinements) {
   EXPECT_GT(refinements_checked, 100);
 }
 
+TEST(UnivariateSiBoundTest, BoundOutlivesFactoryScope) {
+  // Regression: the returned closure once captured a reference to the
+  // factory's `y` reference parameter. The contract is that only the
+  // caller-owned targets matrix must stay alive — the model and DL params
+  // may die with the factory's enclosing scope.
+  const datagen::CrimeData data = datagen::MakeCrimeLike(
+      {.num_rows = 200, .num_descriptions = 6, .seed = 8});
+  const linalg::Matrix targets = data.dataset.targets;
+  const ConditionPool pool =
+      ConditionPool::Build(data.dataset.descriptions, 4);
+  const pattern::Intention node({pool.condition(0)});
+  const pattern::Extension& ext = pool.extension(0);
+
+  OptimisticBound bound;
+  double inside_scope = 0.0;
+  {
+    Result<model::BackgroundModel> model =
+        model::BackgroundModel::CreateFromData(targets);
+    model.status().CheckOK();
+    const si::DescriptionLengthParams dl;
+    Result<OptimisticBound> made =
+        MakeUnivariateSiBound(model.Value(), targets, dl, 5);
+    ASSERT_TRUE(made.ok());
+    inside_scope = made.Value()(node, ext);
+    bound = made.Value();
+  }
+  EXPECT_EQ(bound(node, ext), inside_scope);
+  EXPECT_GT(inside_scope, 0.0);
+}
+
 TEST(BranchAndBoundTest, PrunesWithoutChangingOptimum) {
   const datagen::CrimeData data =
       datagen::MakeCrimeLike({.num_rows = 400, .num_descriptions = 15,

@@ -12,6 +12,7 @@
 #include "common/strings.hpp"
 #include "search/beam_search.hpp"
 #include "search/condition_pool.hpp"
+#include "search/exhaustive_search.hpp"
 
 namespace sisd::search {
 namespace {
@@ -127,6 +128,52 @@ TEST(TimeBudgetTest, ExpiredSearchCountsOnlyScoredCandidates) {
   // num_evaluated reflects work actually done: consistent with the elapsed
   // wall clock at ~200us each (never the full candidate universe).
   EXPECT_LE(partial.num_evaluated, 3000u);
+}
+
+/// 120 rows x 100 numeric columns: a pool of ~800 conditions, so a single
+/// depth-1 node sweeps hundreds of sibling candidates — exactly the stretch
+/// that used to run with no deadline check at all.
+data::DataTable MakeVeryWideTable() {
+  data::DataTable table;
+  for (int j = 0; j < 100; ++j) {
+    std::vector<double> values;
+    values.reserve(120);
+    for (int i = 0; i < 120; ++i) {
+      values.push_back(std::fmod(double(i) * (1.3 + 0.17 * double(j)), 19.0));
+    }
+    table.AddColumn(data::Column::Numeric(StrFormat("x%d", j), values))
+        .CheckOK();
+  }
+  return table;
+}
+
+TEST(TimeBudgetTest, ExhaustiveSearchBoundsOvershootWithinOneChunk) {
+  // Regression for the DFS overshoot: the deadline was only checked at node
+  // entry, so a node with hundreds of children ran its whole sibling sweep
+  // past the budget. Now the check fires every 256 candidates, bounding the
+  // overshoot by one chunk regardless of node fan-out.
+  const data::DataTable table = MakeVeryWideTable();
+  const ConditionPool pool = ConditionPool::Build(table, 4);
+  ASSERT_GT(pool.size(), 600u);
+
+  ExhaustiveConfig config;
+  config.max_depth = 2;
+  config.min_coverage = 2;
+  config.time_budget_seconds = 0.02;
+  const auto delay = std::chrono::microseconds(700);
+  const auto start = std::chrono::steady_clock::now();
+  const ExhaustiveResult result =
+      ExhaustiveSearch(table, pool, config, CoverageQuality(delay));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_FALSE(result.completed);
+  // ~29 candidates fit the 20ms budget; after expiry at most one 256-tick
+  // chunk may still be scored. Pre-fix, the first depth-1 node swept all
+  // ~800 siblings (~0.55s) before the next check.
+  EXPECT_LT(result.num_evaluated, 500u);
+  EXPECT_LT(elapsed, config.time_budget_seconds + 0.45);
 }
 
 }  // namespace

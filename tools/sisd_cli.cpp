@@ -12,6 +12,9 @@
 //   serve   drive an in-process sisd_serve session server end to end:
 //           read protocol requests from a script file or stdin, answer
 //           on stdout (the smoke-test entry point for docs/PROTOCOL.md).
+//   optimal mine the provably-optimal location pattern with the parallel
+//           branch-and-bound (search/optimal_search.hpp), optionally
+//           measuring beam search's optimality gap (--compare-beam).
 //
 // Every datagen scenario and arbitrary user data are drivable end to end:
 //   sisd_cli mine --scenario crime --iterations 3 --session-save s.json
@@ -20,6 +23,7 @@
 //   sisd_cli export --session s.json --history history.csv
 //   sisd_cli serve --script requests.jsonl
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -34,6 +38,9 @@
 #include "core/session.hpp"
 #include "data/csv.hpp"
 #include "datagen/scenarios.hpp"
+#include "model/background_model.hpp"
+#include "search/optimal_search.hpp"
+#include "search/si_evaluator.hpp"
 #include "serialize/json.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -51,6 +58,10 @@ USAGE
                   [--ranked OUT.csv [--iteration K]] [--json OUT.json]
   sisd_cli serve [--script FILE] [--max-resident N] [--spill-dir DIR]
                  [--threads N] [--catalog-bytes N] [--preload SPEC]...
+  sisd_cli optimal (--csv FILE --targets A[,B...] | --scenario NAME)
+                   [--max-depth N] [--min-coverage N] [--splits N]
+                   [--threads N] [--time-budget S] [--gamma X] [--eta X]
+                   [--no-bound] [--compare-beam]
 
 MINE INPUT
   --csv FILE            CSV file with a header row (types are inferred)
@@ -75,6 +86,17 @@ MINE OPTIONS (defaults = the paper's Cortana settings)
   --time-budget SECONDS wall-clock search budget per iteration
   --threads N           scoring threads (0 = auto)
   --gamma X / --eta X   description-length parameters (default 0.1 / 1)
+  --optimal             mine each iteration's location pattern with the
+                        provably-optimal branch-and-bound instead of beam
+                        search (keep --max-depth small, e.g. 2)
+
+OPTIMAL
+  One-shot provably-optimal location search (no session, no spread step):
+  best-first branch-and-bound with the tight univariate SI bound, parallel
+  across --threads workers. The result is the global optimum over the
+  description language up to --max-depth (default 2). --no-bound disables
+  pruning (pure best-first enumeration); --compare-beam also runs beam
+  search with the same constraints and reports its optimality gap.
 
 RESUME
   Restores the snapshot and continues mining; results are byte-identical
@@ -114,7 +136,8 @@ struct Args {
 /// Flags that take no value.
 bool IsSwitch(const std::string& name) {
   return name == "--location-only" || name == "--exclusions" ||
-         name == "--help" || name == "-h";
+         name == "--optimal" || name == "--no-bound" ||
+         name == "--compare-beam" || name == "--help" || name == "-h";
 }
 
 Result<Args> ParseArgs(int argc, char** argv) {
@@ -200,6 +223,9 @@ Result<core::MinerConfig> ConfigFromArgs(const Args& args) {
   }
   if (args.Find("--exclusions") != nullptr) {
     config.search.include_exclusions = true;
+  }
+  if (args.Find("--optimal") != nullptr) {
+    config.use_optimal_search = true;
   }
   return config;
 }
@@ -344,6 +370,92 @@ Status RunExport(const Args& args) {
   return Status::OK();
 }
 
+Status RunOptimal(const Args& args) {
+  SISD_ASSIGN_OR_RETURN(dataset, LoadDataset(args));
+  std::printf("dataset '%s': %zu rows, %zu descriptions, %zu targets\n",
+              dataset.name.c_str(), dataset.num_rows(),
+              dataset.num_descriptions(), dataset.num_targets());
+
+  search::OptimalConfig config;
+  SISD_ASSIGN_OR_RETURN(depth, FlagInt(args, "--max-depth", config.max_depth));
+  config.max_depth = int(depth);
+  SISD_ASSIGN_OR_RETURN(
+      min_cov,
+      FlagInt(args, "--min-coverage", (long long)(config.min_coverage)));
+  config.min_coverage = size_t(min_cov);
+  SISD_ASSIGN_OR_RETURN(
+      budget, FlagDouble(args, "--time-budget", config.time_budget_seconds));
+  config.time_budget_seconds = budget;
+  SISD_ASSIGN_OR_RETURN(threads,
+                        FlagInt(args, "--threads", config.num_threads));
+  config.num_threads = int(threads);
+  config.use_bound = args.Find("--no-bound") == nullptr;
+
+  si::DescriptionLengthParams dl;
+  SISD_ASSIGN_OR_RETURN(gamma, FlagDouble(args, "--gamma", dl.gamma));
+  dl.gamma = gamma;
+  SISD_ASSIGN_OR_RETURN(eta, FlagDouble(args, "--eta", dl.eta));
+  dl.eta = eta;
+
+  SISD_ASSIGN_OR_RETURN(splits, FlagInt(args, "--splits", 4));
+  const search::ConditionPool pool = search::ConditionPool::Build(
+      dataset.descriptions, int(splits), args.Find("--exclusions") != nullptr);
+  SISD_ASSIGN_OR_RETURN(
+      model, model::BackgroundModel::CreateFromData(dataset.targets, 1e-8));
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const search::OptimalResult result = search::OptimalLocationSearch(
+      dataset.descriptions, pool, model, dataset.targets, dl, config);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (result.best.intention.empty()) {
+    return Status::NotFound(
+        "optimal search found no subgroup satisfying the constraints");
+  }
+  std::printf("optimal: %s (n=%zu, SI=%.6f)%s\n",
+              result.best.intention.ToString(dataset.descriptions).c_str(),
+              result.best.extension.count(), result.best.quality,
+              result.completed ? "" : "  [time budget hit: incumbent only]");
+  std::printf(
+      "searched %zu candidates, %zu nodes expanded, %zu pruned, bound=%s, "
+      "%.3fs (%.0f candidates/s)\n",
+      result.num_evaluated, result.num_expanded, result.num_pruned_nodes,
+      result.used_bound ? "univariate-si" : "off", seconds,
+      seconds > 0.0 ? double(result.num_evaluated) / seconds : 0.0);
+
+  if (args.Find("--compare-beam") != nullptr) {
+    search::SearchConfig beam;
+    beam.max_depth = config.max_depth;
+    beam.min_coverage = config.min_coverage;
+    beam.num_threads = config.num_threads;
+    beam.include_exclusions = args.Find("--exclusions") != nullptr;
+    beam.num_split_points = int(splits);
+    search::SiLocationEvaluator evaluator(model, dataset.targets, dl);
+    const Clock::time_point beam_start = Clock::now();
+    const search::SearchResult beam_result = search::BeamSearch(
+        dataset.descriptions, pool, beam, evaluator);
+    const double beam_seconds =
+        std::chrono::duration<double>(Clock::now() - beam_start).count();
+    if (beam_result.top.empty()) {
+      std::printf("beam:    found nothing under the same constraints\n");
+      return Status::OK();
+    }
+    const double beam_q = beam_result.best().quality;
+    const double gap =
+        result.best.quality > 0.0
+            ? (result.best.quality - beam_q) / result.best.quality * 100.0
+            : 0.0;
+    std::printf("beam:    %s (n=%zu, SI=%.6f), %.3fs\n",
+                beam_result.best().intention.ToString(dataset.descriptions)
+                    .c_str(),
+                beam_result.best().extension.count(), beam_q, beam_seconds);
+    std::printf("optimality gap: %.4f%% (optimal/beam wall-clock: %.2fx)\n",
+                gap, beam_seconds > 0.0 ? seconds / beam_seconds : 0.0);
+  }
+  return Status::OK();
+}
+
 Status RunServe(const Args& args) {
   serve::ServeConfig config;
   SISD_ASSIGN_OR_RETURN(
@@ -418,6 +530,8 @@ int Main(int argc, char** argv) {
     status = RunExport(args.Value());
   } else if (args.Value().command == "serve") {
     status = RunServe(args.Value());
+  } else if (args.Value().command == "optimal") {
+    status = RunOptimal(args.Value());
   } else {
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n%s",
                  args.Value().command.c_str(), kUsage);
