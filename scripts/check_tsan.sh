@@ -6,7 +6,10 @@
 # concurrent session service (serve_hammer_test's interleaved
 # mine/save/evict/close storm, serve_loop_test's TCP transport), and the
 # shared dataset catalog (catalog_hammer_test's concurrent
-# open/dataset_drop/mine storm over one catalog entry), the parallel
+# open/dataset_drop/mine storm over one catalog entry), the epoll
+# event-loop transport (event_loop_hammer_test's pipelined clients racing
+# the worker pool, backpressure rejection and connection teardown;
+# event_loop_test's transport contract), the parallel
 # branch-and-bound (optimal_search_test's multi-thread wave expansion with
 # the shared atomic incumbent), plus the kernel suites
 # (kernel_dispatch_test flips the process-wide ISA slot while the engine's
@@ -23,7 +26,8 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j \
   --target batch_evaluator_test thread_invariance_test beam_search_test \
            optimal_search_test serve_hammer_test serve_loop_test \
-           catalog_hammer_test kernel_parity_test kernel_dispatch_test
+           catalog_hammer_test event_loop_test event_loop_hammer_test \
+           kernel_parity_test kernel_dispatch_test
 cd build-tsan
 ctest --output-on-failure \
-  -R 'batch_evaluator_test|thread_invariance_test|beam_search_test|optimal_search_test|serve_hammer_test|serve_loop_test|catalog_hammer_test|kernel_parity_test|kernel_dispatch_test'
+  -R 'batch_evaluator_test|thread_invariance_test|beam_search_test|optimal_search_test|serve_hammer_test|serve_loop_test|catalog_hammer_test|event_loop_test|event_loop_hammer_test|kernel_parity_test|kernel_dispatch_test'

@@ -11,10 +11,14 @@ std::shared_ptr<const search::ConditionPool> ArtifactCache::PoolFor(
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pools_.find(key);
-    if (it != pools_.end()) return it->second;
+    if (it != pools_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
   // Miss: build outside the lock (pure function of the inputs, so two
   // racing builders produce interchangeable pools; first insert wins).
+  builds_.fetch_add(1, std::memory_order_relaxed);
   auto built = std::make_shared<const search::ConditionPool>(
       search::ConditionPool::Build(descriptions, num_splits,
                                    include_exclusions));

@@ -18,6 +18,7 @@
 #ifndef SISD_CATALOG_ARTIFACT_CACHE_HPP_
 #define SISD_CATALOG_ARTIFACT_CACHE_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -56,11 +57,18 @@ class ArtifactCache {
   /// holding the shared_ptr keep their pool alive; the cache just forgets.
   void DropPoolsFor(uint64_t fingerprint);
 
+  /// Lookups answered from the cache / lookups that built a pool (the
+  /// serve layer's `metrics` verb reports the hit rate).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t builds() const { return builds_.load(std::memory_order_relaxed); }
+
  private:
   using Key = std::tuple<uint64_t, int, bool>;
 
   mutable std::mutex mu_;
   std::map<Key, std::shared_ptr<const search::ConditionPool>> pools_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> builds_{0};
 };
 
 }  // namespace sisd::catalog

@@ -12,6 +12,7 @@ DatasetCatalog::DatasetCatalog(CatalogConfig config) : config_(config) {}
 
 PinnedDataset DatasetCatalog::TouchLocked(Entry* entry, uint64_t fingerprint,
                                           bool pin, bool reused) {
+  (reused ? hits_ : interns_).fetch_add(1, std::memory_order_relaxed);
   entry->last_touch = ++touch_clock_;
   if (pin) ++entry->pins;
   PinnedDataset out;
@@ -131,6 +132,7 @@ Result<PinnedDataset> DatasetCatalog::FindByName(const std::string& name,
     }
   }
   if (matches == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("no catalog dataset named '" + name + "'");
   }
   if (matches > 1) {
@@ -147,6 +149,7 @@ Result<PinnedDataset> DatasetCatalog::FindByFingerprint(uint64_t fingerprint,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("no catalog dataset with fingerprint " +
                             FingerprintToHex(fingerprint));
   }
@@ -177,12 +180,14 @@ Result<PinnedDataset> DatasetCatalog::MatchEncoded(
       std::lock_guard<std::mutex> lock(mu_);
       auto it = entries_.find(fingerprint);
       if (it == entries_.end() || it->second.bytes != encoded.size()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return Status::NotFound(
             "no catalog dataset with this exact content");
       }
       existing = it->second.dataset;
     }
     if (serialize::EncodeDataset(*existing).Write() != encoded) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return Status::NotFound("no catalog dataset with this exact content");
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -297,6 +302,16 @@ size_t DatasetCatalog::size() const {
 size_t DatasetCatalog::total_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_bytes_;
+}
+
+CatalogStats DatasetCatalog::Stats() const {
+  CatalogStats stats;
+  stats.interns = interns_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.pool_builds = artifacts_.builds();
+  stats.pool_hits = artifacts_.hits();
+  return stats;
 }
 
 }  // namespace sisd::catalog

@@ -41,6 +41,7 @@
 #ifndef SISD_CATALOG_DATASET_CATALOG_HPP_
 #define SISD_CATALOG_DATASET_CATALOG_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -72,6 +73,20 @@ struct CatalogEntryInfo {
   size_t rows = 0;
   size_t descriptions = 0;
   size_t targets = 0;
+};
+
+/// \brief Monotonic catalog traffic counters (process lifetime). A "hit"
+/// is any resolution that handed out an already-registered dataset — a
+/// dedup'd `Intern` or a successful lookup; a "miss" is a lookup probe
+/// that found nothing (`FindByNameOrFingerprint` counts each failed probe,
+/// so one spec can record a name miss and then a fingerprint hit). Pool
+/// counters mirror the embedded `ArtifactCache`.
+struct CatalogStats {
+  uint64_t interns = 0;      ///< fresh content registrations
+  uint64_t hits = 0;         ///< reused-entry resolutions
+  uint64_t misses = 0;       ///< failed lookup probes
+  uint64_t pool_builds = 0;  ///< condition pools built
+  uint64_t pool_hits = 0;    ///< condition pools answered from cache
 };
 
 /// \brief A resolved catalog dataset: the shared instance plus its address.
@@ -161,6 +176,9 @@ class DatasetCatalog {
   /// The embedded artifact cache (exposed for tests/diagnostics).
   ArtifactCache& artifacts() { return artifacts_; }
 
+  /// Traffic counters (hit rates for the serve layer's `metrics` verb).
+  CatalogStats Stats() const;
+
  private:
   struct Entry {
     std::shared_ptr<const data::Dataset> dataset;
@@ -189,6 +207,9 @@ class DatasetCatalog {
   std::map<uint64_t, Entry> entries_;  ///< fingerprint -> entry (ordered)
   size_t total_bytes_ = 0;
   uint64_t touch_clock_ = 0;
+  std::atomic<uint64_t> interns_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
   ArtifactCache artifacts_;
 };
 

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unknown";
     case StatusCode::kConflict:
       return "Conflict";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "InvalidCode";
 }

@@ -31,6 +31,7 @@ enum class StatusCode {
   kNotImplemented = 7,    ///< feature intentionally absent
   kUnknown = 8,           ///< anything else
   kConflict = 9,          ///< optimistic-concurrency check failed
+  kUnavailable = 10,      ///< transient overload — retry later
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -77,6 +78,9 @@ class Status {
   }
   static Status Conflict(std::string msg) {
     return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// @}
 

@@ -151,6 +151,7 @@ StatusCode StatusCodeFromString(const std::string& name) {
       StatusCode::kAlreadyExists, StatusCode::kIOError,
       StatusCode::kNumericalError, StatusCode::kNotImplemented,
       StatusCode::kUnknown,      StatusCode::kConflict,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : kCodes) {
     if (name == StatusCodeToString(code)) return code;

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <memory>
@@ -24,31 +25,114 @@ namespace sisd::serve {
 using serialize::ProtocolRequest;
 using serialize::ProtocolResponse;
 
-std::string ProcessRequestLine(SessionManager& manager,
-                               const std::string& line) {
-  const std::string_view trimmed = TrimWhitespace(line);
-  if (trimmed.empty() || trimmed.front() == '#') return "";
-  Result<ProtocolRequest> request =
-      serialize::ParseRequestLine(std::string(trimmed));
-  if (!request.ok()) {
-    // No id to echo: the line never became a request.
-    return serialize::WriteResponseLine(
-        serialize::MakeErrorResponse(ProtocolRequest{}, request.status()));
-  }
-  return serialize::WriteResponseLine(
-      HandleRequest(manager, request.Value()));
+namespace {
+
+/// The one response emitted for a line that exceeded the length bound.
+std::string OversizedLineResponse(size_t max_line_bytes) {
+  return serialize::WriteResponseLine(serialize::MakeErrorResponse(
+      ProtocolRequest{},
+      Status::InvalidArgument(StrFormat(
+          "request line exceeds the %zu-byte bound", max_line_bytes))));
 }
 
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+RequestOutcome ProcessRequest(SessionManager& manager,
+                              const std::string& line,
+                              ServeMetrics* metrics) {
+  RequestOutcome outcome;
+  const std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    outcome.skipped = true;
+    return outcome;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<ProtocolRequest> request =
+      serialize::ParseRequestLine(std::string(trimmed));
+  ProtocolResponse response;
+  if (!request.ok()) {
+    // No id to echo: the line never became a request.
+    response =
+        serialize::MakeErrorResponse(ProtocolRequest{}, request.status());
+  } else {
+    outcome.verb = request.Value().verb;
+    response = HandleRequest(manager, request.Value(), metrics);
+  }
+  outcome.ok = response.ok;
+  outcome.code = response.ok ? StatusCode::kOk : response.error.code();
+  outcome.response = serialize::WriteResponseLine(response);
+  if (metrics != nullptr) {
+    metrics->RecordRequest(outcome.verb, outcome.ok, ElapsedMicros(start));
+  }
+  return outcome;
+}
+
+std::string ProcessRequestLine(SessionManager& manager,
+                               const std::string& line) {
+  return ProcessRequest(manager, line).response;
+}
+
+namespace {
+
+enum class LineRead { kLine, kOversized, kEof };
+
+/// Reads one '\n'-terminated line into `*line` (newline not included),
+/// never buffering more than `max_bytes` — the stream-side half of the
+/// bounded-line contract. A final unterminated line still reads as a
+/// line.
+LineRead ReadBoundedLine(std::istream& in, size_t max_bytes,
+                         std::string* line) {
+  line->clear();
+  std::streambuf* buf = in.rdbuf();
+  bool read_any = false;
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == std::char_traits<char>::eof()) {
+      return read_any ? LineRead::kLine : LineRead::kEof;
+    }
+    read_any = true;
+    if (c == '\n') return LineRead::kLine;
+    if (line->size() >= max_bytes) return LineRead::kOversized;
+    line->push_back(static_cast<char>(c));
+  }
+}
+
+}  // namespace
+
 ServeLoopStats ServeStream(SessionManager& manager, std::istream& in,
-                           std::ostream& out) {
+                           std::ostream& out,
+                           const ServeStreamOptions& options) {
   ServeLoopStats stats;
+  // A private collector when none is shared, so scripted `metrics`
+  // requests answer instead of erroring.
+  ServeMetrics local_metrics;
+  ServeMetrics* metrics =
+      options.metrics != nullptr ? options.metrics : &local_metrics;
   std::string line;
-  while (std::getline(in, line)) {
-    const std::string response = ProcessRequestLine(manager, line);
-    if (response.empty()) continue;
+  for (;;) {
+    const LineRead read = ReadBoundedLine(in, options.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
+    if (read == LineRead::kOversized) {
+      ++stats.requests;
+      ++stats.errors;
+      ++stats.oversized;
+      metrics->OnOversizedLine();
+      out << OversizedLineResponse(options.max_line_bytes);
+      out.flush();
+      break;  // the stream analogue of a connection close
+    }
+    const RequestOutcome outcome = ProcessRequest(manager, line, metrics);
+    if (outcome.skipped) continue;
     ++stats.requests;
-    if (response.find("\"ok\":false") != std::string::npos) ++stats.errors;
-    out << response;
+    if (!outcome.ok) ++stats.errors;
+    out << outcome.response;
     out.flush();
   }
   return stats;
@@ -72,7 +156,10 @@ bool WriteAll(int fd, const std::string& text) {
 }
 
 /// Serves one connection: reads bytes, splits on '\n', answers per line.
-void ServeConnection(SessionManager* manager, int fd) {
+/// An over-long line (no newline within the bound) answers one
+/// InvalidArgument response and closes the connection.
+void ServeConnection(SessionManager* manager, int fd, size_t max_line_bytes,
+                     ServeMetrics* metrics) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -84,16 +171,29 @@ void ServeConnection(SessionManager* manager, int fd) {
     while ((pos = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
-      const std::string response = ProcessRequestLine(*manager, line);
-      if (!response.empty() && !WriteAll(fd, response)) {
+      if (line.size() > max_line_bytes) {
+        if (metrics != nullptr) metrics->OnOversizedLine();
+        WriteAll(fd, OversizedLineResponse(max_line_bytes));
+        ::close(fd);
+        return;
+      }
+      const RequestOutcome outcome =
+          ProcessRequest(*manager, line, metrics);
+      if (!outcome.skipped && !WriteAll(fd, outcome.response)) {
         ::close(fd);
         return;
       }
     }
+    if (buffer.size() > max_line_bytes) {
+      if (metrics != nullptr) metrics->OnOversizedLine();
+      WriteAll(fd, OversizedLineResponse(max_line_bytes));
+      ::close(fd);
+      return;
+    }
   }
   // A final unterminated line still gets a response before close.
   if (!TrimWhitespace(buffer).empty()) {
-    WriteAll(fd, ProcessRequestLine(*manager, buffer));
+    WriteAll(fd, ProcessRequest(*manager, buffer, metrics).response);
   }
   ::close(fd);
 }
@@ -101,7 +201,7 @@ void ServeConnection(SessionManager* manager, int fd) {
 }  // namespace
 
 Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
-                size_t max_connections) {
+                const ServeTcpOptions& options) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
@@ -158,8 +258,10 @@ Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
       }
     }
   };
+  ServeMetrics* metrics = options.metrics;
   size_t accepted = 0;
-  while (max_connections == 0 || accepted < max_connections) {
+  while (options.max_connections == 0 ||
+         accepted < options.max_connections) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -168,9 +270,12 @@ Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
     ++accepted;
     reap(/*all=*/false);
     auto done = std::make_shared<std::atomic<bool>>(false);
+    const size_t max_line_bytes = options.max_line_bytes;
     connections.push_back(
-        {std::thread([&manager, fd, done] {
-           ServeConnection(&manager, fd);
+        {std::thread([&manager, fd, done, max_line_bytes, metrics] {
+           if (metrics != nullptr) metrics->OnConnectionOpened();
+           ServeConnection(&manager, fd, max_line_bytes, metrics);
+           if (metrics != nullptr) metrics->OnConnectionClosed();
            done->store(true);
          }),
          done});
@@ -178,6 +283,13 @@ Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
   ::close(listen_fd);
   reap(/*all=*/true);
   return Status::OK();
+}
+
+Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
+                size_t max_connections) {
+  ServeTcpOptions options;
+  options.max_connections = max_connections;
+  return ServeTcp(manager, port, announce, options);
 }
 
 }  // namespace sisd::serve

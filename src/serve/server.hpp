@@ -1,12 +1,16 @@
 /// \file server.hpp
 /// \brief Transports for the sisd_serve protocol: a line loop over C++
 /// streams (stdio, script files, string streams in tests) and a
-/// loopback-TCP listener with one thread per connection.
+/// loopback-TCP listener with one thread per connection. The scalable
+/// epoll transport lives in serve/event_loop_server.hpp.
 ///
-/// Both transports funnel through `ProcessRequestLine`, so every client
-/// sees identical behaviour. Blank lines and lines starting with `#` are
+/// Both transports funnel through `ProcessRequest`, so every client sees
+/// identical behaviour. Blank lines and lines starting with `#` are
 /// skipped (request scripts can be commented); anything else yields
-/// exactly one newline-terminated response line.
+/// exactly one newline-terminated response line. Request lines are
+/// bounded: a line longer than `max_line_bytes` (no newline for
+/// megabytes) yields one `InvalidArgument` response and ends the
+/// stream/connection instead of buffering without bound.
 
 #ifndef SISD_SERVE_SERVER_HPP_
 #define SISD_SERVE_SERVER_HPP_
@@ -16,34 +20,82 @@
 #include <string>
 
 #include "common/status.hpp"
+#include "serve/metrics.hpp"
 #include "serve/session_manager.hpp"
 
 namespace sisd::serve {
 
-/// \brief Request/error counters of one serve loop.
-struct ServeLoopStats {
-  uint64_t requests = 0;  ///< non-skipped lines processed
-  uint64_t errors = 0;    ///< responses with ok:false
+/// \brief Default request-line length bound shared by every transport.
+inline constexpr size_t kDefaultMaxLineBytes = 1 << 20;  // 1 MiB
+
+/// \brief Structured result of handling one protocol line. Transports
+/// count errors from `ok`/`code`, never by substring-searching the
+/// response bytes (a payload may legitimately contain `"ok":false`).
+struct RequestOutcome {
+  std::string response;  ///< newline-terminated wire bytes ("" if skipped)
+  std::string verb;      ///< parsed verb ("" when the line never parsed)
+  bool skipped = false;  ///< blank/comment line: no response owed
+  bool ok = false;       ///< the response carries `"ok":true`
+  StatusCode code = StatusCode::kOk;  ///< error code when `!ok`
 };
 
-/// \brief Handles one protocol line. Returns "" for blank/comment lines,
-/// else the newline-terminated response (parse failures become ok:false
-/// responses, never a crash).
+/// \brief Handles one protocol line (parse failures become ok:false
+/// responses, never a crash). Records per-verb counts and measured
+/// latency into `metrics` when non-null, and answers the `metrics` verb
+/// from it.
+RequestOutcome ProcessRequest(SessionManager& manager,
+                              const std::string& line,
+                              ServeMetrics* metrics = nullptr);
+
+/// \brief Compatibility wrapper: just the wire bytes of `ProcessRequest`
+/// ("" for blank/comment lines).
 std::string ProcessRequestLine(SessionManager& manager,
                                const std::string& line);
 
+/// \brief Request/error counters of one serve loop.
+struct ServeLoopStats {
+  uint64_t requests = 0;   ///< non-skipped lines processed
+  uint64_t errors = 0;     ///< responses with ok:false
+  uint64_t oversized = 0;  ///< lines dropped for exceeding the bound
+};
+
+/// \brief Stream-transport knobs.
+struct ServeStreamOptions {
+  size_t max_line_bytes = kDefaultMaxLineBytes;
+  /// Shared metrics collector; when null the loop keeps a private one
+  /// (so scripted `metrics` requests still answer).
+  ServeMetrics* metrics = nullptr;
+};
+
 /// \brief Reads requests from `in` line by line until EOF, writing each
 /// response to `out` (flushed per line, so pipes interleave correctly).
+/// A line exceeding the bound answers `InvalidArgument` and ends the
+/// loop — the stream analogue of a connection close.
 ServeLoopStats ServeStream(SessionManager& manager, std::istream& in,
-                           std::ostream& out);
+                           std::ostream& out,
+                           const ServeStreamOptions& options = {});
+
+/// \brief Thread-per-connection TCP knobs.
+struct ServeTcpOptions {
+  /// Connections accepted before the listener stops and the call
+  /// returns once they finish (0 = serve forever).
+  size_t max_connections = 0;
+  size_t max_line_bytes = kDefaultMaxLineBytes;
+  ServeMetrics* metrics = nullptr;
+};
 
 /// \brief Listens on loopback TCP `port` (0 = ephemeral) and serves each
 /// connection on its own thread against the shared `manager`. Announces
 /// `listening on 127.0.0.1:<port>` to `announce` once bound (parse this
-/// to learn an ephemeral port). Returns after `max_connections`
-/// connections were accepted and finished (0 = serve forever).
+/// to learn an ephemeral port). This is the pre-event-loop baseline
+/// transport: no pipelining concurrency, no admission control — kept for
+/// comparison benchmarks and small deployments.
 Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
-                size_t max_connections = 0);
+                const ServeTcpOptions& options = {});
+
+/// \brief Back-compat overload (`max_connections` only).
+Status ServeTcp(SessionManager& manager, int port, std::ostream& announce,
+                size_t max_connections);
 
 }  // namespace sisd::serve
 

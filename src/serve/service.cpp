@@ -423,6 +423,16 @@ Result<JsonValue> DoClose(SessionManager& manager,
   return result;
 }
 
+Result<JsonValue> DoMetrics(SessionManager& manager,
+                            ServeMetrics* metrics) {
+  if (metrics == nullptr) {
+    return Status::Unavailable(
+        "this transport collects no metrics (use the stream, TCP or "
+        "event-loop transport)");
+  }
+  return EncodeMetrics(*metrics, manager.catalog().get());
+}
+
 Result<JsonValue> DoStats(SessionManager& manager) {
   const ManagerStats stats = manager.Stats();
   JsonValue result = JsonValue::Object();
@@ -542,7 +552,8 @@ Result<catalog::PinnedDataset> PreloadDataset(
 }
 
 ProtocolResponse HandleRequest(SessionManager& manager,
-                               const ProtocolRequest& request) {
+                               const ProtocolRequest& request,
+                               ServeMetrics* metrics) {
   Result<JsonValue> result = [&]() -> Result<JsonValue> {
     if (request.verb == "open") return DoOpen(manager, request);
     if (request.verb == "mine") return DoMine(manager, request);
@@ -553,6 +564,7 @@ ProtocolResponse HandleRequest(SessionManager& manager,
     if (request.verb == "evict") return DoEvict(manager, request);
     if (request.verb == "close") return DoClose(manager, request);
     if (request.verb == "stats") return DoStats(manager);
+    if (request.verb == "metrics") return DoMetrics(manager, metrics);
     if (request.verb == "dataset_load") {
       return DoDatasetLoad(manager, request);
     }
@@ -563,7 +575,7 @@ ProtocolResponse HandleRequest(SessionManager& manager,
     return Status::InvalidArgument(
         "unknown verb '" + request.verb +
         "' (expected open|mine|assimilate|history|export|save|evict|close|"
-        "stats|dataset_load|dataset_list|dataset_drop)");
+        "stats|metrics|dataset_load|dataset_list|dataset_drop)");
   }();
   if (!result.ok()) {
     return serialize::MakeErrorResponse(request, result.status());

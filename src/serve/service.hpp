@@ -12,14 +12,19 @@
 #define SISD_SERVE_SERVICE_HPP_
 
 #include "serialize/protocol.hpp"
+#include "serve/metrics.hpp"
 #include "serve/session_manager.hpp"
 
 namespace sisd::serve {
 
 /// \brief Executes one request against `manager` and returns its response
-/// (errors become `ok:false` responses; this never aborts).
+/// (errors become `ok:false` responses; this never aborts). The `metrics`
+/// verb renders a snapshot of `metrics` (plus the catalog hit rates);
+/// transports that collect none leave it null and the verb answers
+/// Unavailable.
 serialize::ProtocolResponse HandleRequest(
-    SessionManager& manager, const serialize::ProtocolRequest& request);
+    SessionManager& manager, const serialize::ProtocolRequest& request,
+    ServeMetrics* metrics = nullptr);
 
 /// \brief Parses a condition list (`[{"attribute":..., "op":...,
 /// "threshold"|"level":...}, ...]`) against `table` into an intention.

@@ -1,0 +1,422 @@
+// The epoll event-loop transport end to end:
+//  - pipelined requests answer with per-session ordering preserved;
+//  - bounded per-session queues reject overflow with Unavailable and the
+//    session state stays consistent (accepted mines still advance the
+//    generation monotonically, history matches the accepted count);
+//  - an over-long request line answers InvalidArgument and closes the
+//    connection without answering anything sent after it;
+//  - the `metrics` verb reports per-verb counts, latency percentiles,
+//    connection/queue gauges and catalog hit rates;
+//  - the shutdown flag drains gracefully: responses flush, connections
+//    close, ServeEventLoop returns OK.
+
+#include "serve/event_loop_server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "serialize/json.hpp"
+#include "serialize/protocol.hpp"
+#include "serve/session_manager.hpp"
+
+namespace sisd::serve {
+namespace {
+
+constexpr const char* kFastConfig =
+    "\"config\":{\"beam_width\":4,\"max_depth\":1,\"top_k\":8,"
+    "\"min_coverage\":5}";
+
+/// Mutex-guarded capture streambuf (the server thread writes the listen
+/// announcement while the test polls it).
+class SyncCaptureBuf : public std::streambuf {
+ public:
+  std::string Snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_;
+  }
+
+ protected:
+  int overflow(int c) override {
+    if (c != EOF) {
+      std::lock_guard<std::mutex> lock(mu_);
+      data_.push_back(static_cast<char>(c));
+    }
+    return c;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_.append(s, static_cast<size_t>(n));
+    return n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::string data_;
+};
+
+/// Runs ServeEventLoop on a background thread and reports the announced
+/// ephemeral port.
+class TestServer {
+ public:
+  explicit TestServer(EventLoopConfig config,
+                      ServeConfig serve_config = ServeConfig{})
+      : manager_(std::move(serve_config)), announce_(&announce_buf_) {
+    thread_ = std::thread([this, config] {
+      status_ = ServeEventLoop(manager_, config, announce_, &metrics_,
+                               &shutdown_);
+    });
+  }
+
+  ~TestServer() {
+    shutdown_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int WaitForPort() {
+    for (int i = 0; i < 1000; ++i) {
+      const std::string text = announce_buf_.Snapshot();
+      const size_t colon = text.rfind(':');
+      if (colon != std::string::npos &&
+          text.find('\n') != std::string::npos) {
+        const int port = std::atoi(text.c_str() + colon + 1);
+        if (port > 0) return port;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return 0;
+  }
+
+  Status Join() {
+    thread_.join();
+    return status_;
+  }
+
+  void RequestShutdown() { shutdown_.store(true); }
+  ServeMetrics& metrics() { return metrics_; }
+
+ private:
+  SessionManager manager_;
+  SyncCaptureBuf announce_buf_;
+  std::ostream announce_;
+  ServeMetrics metrics_;
+  std::atomic<bool> shutdown_{false};
+  std::thread thread_;
+  Status status_ = Status::OK();
+};
+
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& text) {
+  size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads complete lines until `count` arrived or the peer closed.
+std::vector<std::string> ReadLines(int fd, size_t count) {
+  std::vector<std::string> lines;
+  std::string buffer;
+  char chunk[65536];
+  while (lines.size() < count) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      lines.push_back(buffer.substr(0, pos));
+      buffer.erase(0, pos + 1);
+    }
+  }
+  return lines;
+}
+
+/// True when the peer closed without sending more data.
+bool ReadsEof(int fd) {
+  char chunk[256];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    return n == 0;
+  }
+}
+
+serialize::ProtocolResponse MustParse(const std::string& line) {
+  Result<serialize::ProtocolResponse> parsed =
+      serialize::ParseResponseLine(line);
+  EXPECT_TRUE(parsed.ok()) << line;
+  return parsed.ok() ? parsed.Value() : serialize::ProtocolResponse{};
+}
+
+int64_t ResultInt(const serialize::ProtocolResponse& response,
+                  const std::string& key) {
+  const serialize::JsonValue* value = response.result.Find(key);
+  return value == nullptr ? -1 : value->GetInt().ValueOr(-1);
+}
+
+TEST(EventLoopTest, PipelinedRequestsPreservePerSessionOrder) {
+  EventLoopConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 128;
+  config.max_connections = 1;
+  TestServer server(config);
+  const int port = server.WaitForPort();
+  ASSERT_GT(port, 0);
+  const int fd = ConnectTo(port);
+  ASSERT_GE(fd, 0);
+
+  // Two sessions interleaved on one connection, all pipelined in one
+  // write. Per-session responses must arrive in request order; across
+  // sessions the order is unconstrained.
+  std::string burst;
+  burst += std::string("{\"id\":10,\"verb\":\"open\",\"session\":\"a\","
+                       "\"scenario\":\"synthetic\",") +
+           kFastConfig + "}\n";
+  burst += std::string("{\"id\":20,\"verb\":\"open\",\"session\":\"b\","
+                       "\"scenario\":\"synthetic\",") +
+           kFastConfig + "}\n";
+  for (int i = 1; i <= 3; ++i) {
+    burst += "{\"id\":" + std::to_string(10 + i) +
+             ",\"verb\":\"mine\",\"session\":\"a\"}\n";
+    burst += "{\"id\":" + std::to_string(20 + i) +
+             ",\"verb\":\"mine\",\"session\":\"b\"}\n";
+  }
+  burst += "{\"id\":14,\"verb\":\"history\",\"session\":\"a\"}\n";
+  burst += "{\"id\":24,\"verb\":\"history\",\"session\":\"b\"}\n";
+  ASSERT_TRUE(WriteAll(fd, burst));
+
+  const std::vector<std::string> lines = ReadLines(fd, 10);
+  ASSERT_EQ(lines.size(), 10u);
+  std::map<std::string, std::vector<int64_t>> order;
+  int64_t history_iterations = -1;
+  for (const std::string& line : lines) {
+    const serialize::ProtocolResponse response = MustParse(line);
+    EXPECT_TRUE(response.ok) << line;
+    order[response.session].push_back(response.id);
+    if (response.id == 14) history_iterations = ResultInt(response, "iterations");
+  }
+  const std::vector<int64_t> expected_a = {10, 11, 12, 13, 14};
+  const std::vector<int64_t> expected_b = {20, 21, 22, 23, 24};
+  EXPECT_EQ(order["a"], expected_a);
+  EXPECT_EQ(order["b"], expected_b);
+  // Session a's history reflects exactly its three pipelined mines.
+  EXPECT_EQ(history_iterations, 3);
+
+  ::close(fd);
+  EXPECT_TRUE(server.Join().ok());
+}
+
+TEST(EventLoopTest, BackpressureRejectsOverflowWithoutCorruptingSession) {
+  EventLoopConfig config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  config.max_connections = 1;
+  TestServer server(config);
+  const int port = server.WaitForPort();
+  ASSERT_GT(port, 0);
+  const int fd = ConnectTo(port);
+  ASSERT_GE(fd, 0);
+
+  // Open is awaited so the burst cannot orphan the session.
+  ASSERT_TRUE(WriteAll(
+      fd, std::string("{\"id\":1,\"verb\":\"open\",\"session\":\"s\","
+                      "\"scenario\":\"synthetic\",") +
+              kFastConfig + "}\n"));
+  ASSERT_EQ(ReadLines(fd, 1).size(), 1u);
+
+  // A burst of 12 pipelined mines against capacity 2 and one worker:
+  // the enqueue rate (microseconds per line) dwarfs the mine rate
+  // (milliseconds), so most of the burst must be rejected.
+  constexpr int kBurst = 12;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst += "{\"id\":" + std::to_string(100 + i) +
+             ",\"verb\":\"mine\",\"session\":\"s\"}\n";
+  }
+  ASSERT_TRUE(WriteAll(fd, burst));
+  const std::vector<std::string> lines = ReadLines(fd, kBurst);
+  ASSERT_EQ(lines.size(), size_t(kBurst));
+
+  int accepted = 0;
+  int rejected = 0;
+  int64_t last_generation = 0;
+  for (const std::string& line : lines) {
+    const serialize::ProtocolResponse response = MustParse(line);
+    EXPECT_TRUE(response.has_id) << "rejection must echo the id: " << line;
+    if (response.ok) {
+      ++accepted;
+      // Accepted mines advance the generation strictly monotonically —
+      // the rejected ones left no trace in session state.
+      const int64_t generation = ResultInt(response, "generation");
+      EXPECT_GT(generation, last_generation) << line;
+      last_generation = generation;
+    } else {
+      EXPECT_EQ(response.error.code(), StatusCode::kUnavailable) << line;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted + rejected, kBurst);
+  EXPECT_GE(accepted, 1);
+  EXPECT_GE(rejected, 1) << "burst never overflowed the queue";
+
+  // The history agrees with the accepted count exactly.
+  ASSERT_TRUE(WriteAll(
+      fd, "{\"id\":200,\"verb\":\"history\",\"session\":\"s\"}\n"));
+  const std::vector<std::string> history = ReadLines(fd, 1);
+  ASSERT_EQ(history.size(), 1u);
+  const serialize::ProtocolResponse response = MustParse(history[0]);
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(ResultInt(response, "iterations"), accepted);
+  EXPECT_EQ(int64_t(server.metrics().rejected()), rejected);
+
+  ::close(fd);
+  EXPECT_TRUE(server.Join().ok());
+}
+
+TEST(EventLoopTest, OversizedLineAnswersInvalidArgumentAndCloses) {
+  EventLoopConfig config;
+  config.max_line_bytes = 256;
+  config.max_connections = 1;
+  TestServer server(config);
+  const int port = server.WaitForPort();
+  ASSERT_GT(port, 0);
+  const int fd = ConnectTo(port);
+  ASSERT_GE(fd, 0);
+
+  // One over-long line, then a valid request that must never be
+  // answered: the connection is poisoned at the first violation.
+  std::string payload(5000, 'x');
+  payload += "\n{\"id\":1,\"verb\":\"stats\"}\n";
+  ASSERT_TRUE(WriteAll(fd, payload));
+  const std::vector<std::string> lines = ReadLines(fd, 2);
+  ASSERT_EQ(lines.size(), 1u) << "poisoned connection answered again";
+  const serialize::ProtocolResponse response = MustParse(lines[0]);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(response.error.message().find("256-byte bound"),
+            std::string::npos)
+      << response.error.message();
+  EXPECT_TRUE(ReadsEof(fd));
+  ::close(fd);
+  EXPECT_TRUE(server.Join().ok());
+  EXPECT_EQ(server.metrics().oversized_lines(), 1u);
+}
+
+TEST(EventLoopTest, MetricsVerbReportsCountersAndPercentiles) {
+  EventLoopConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 32;
+  config.max_connections = 1;
+  TestServer server(config);
+  const int port = server.WaitForPort();
+  ASSERT_GT(port, 0);
+  const int fd = ConnectTo(port);
+  ASSERT_GE(fd, 0);
+
+  std::string script;
+  script += std::string("{\"id\":1,\"verb\":\"open\",\"session\":\"m\","
+                        "\"scenario\":\"synthetic\",") +
+            kFastConfig + "}\n";
+  script += "{\"id\":2,\"verb\":\"mine\",\"session\":\"m\"}\n";
+  script += "{\"id\":3,\"verb\":\"mine\",\"session\":\"ghost\"}\n";
+  ASSERT_TRUE(WriteAll(fd, script));
+  ASSERT_EQ(ReadLines(fd, 3).size(), 3u);
+
+  ASSERT_TRUE(WriteAll(fd, "{\"id\":4,\"verb\":\"metrics\"}\n"));
+  const std::vector<std::string> lines = ReadLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  const serialize::ProtocolResponse response = MustParse(lines[0]);
+  ASSERT_TRUE(response.ok) << lines[0];
+  const serialize::JsonValue& result = response.result;
+
+  EXPECT_EQ(result.Find("requests")->GetInt().ValueOr(-1), 3);
+  EXPECT_EQ(result.Find("errors")->GetInt().ValueOr(-1), 1);
+  const serialize::JsonValue* verbs = result.Find("verbs");
+  ASSERT_NE(verbs, nullptr);
+  EXPECT_EQ(verbs->Find("open")->Find("count")->GetInt().ValueOr(-1), 1);
+  EXPECT_EQ(verbs->Find("mine")->Find("count")->GetInt().ValueOr(-1), 2);
+  const serialize::JsonValue* latency = result.Find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->Find("count")->GetInt().ValueOr(-1), 3);
+  EXPECT_GE(latency->Find("p99_us")->GetInt().ValueOr(-1),
+            latency->Find("p50_us")->GetInt().ValueOr(-1));
+  const serialize::JsonValue* connections = result.Find("connections");
+  ASSERT_NE(connections, nullptr);
+  EXPECT_EQ(connections->Find("live")->GetInt().ValueOr(-1), 1);
+  EXPECT_EQ(connections->Find("accepted")->GetInt().ValueOr(-1), 1);
+  const serialize::JsonValue* queue = result.Find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->Find("capacity")->GetInt().ValueOr(-1), 32);
+  EXPECT_EQ(queue->Find("rejected")->GetInt().ValueOr(-1), 0);
+  const serialize::JsonValue* catalog = result.Find("catalog");
+  ASSERT_NE(catalog, nullptr);
+  // One open interned one dataset: a fresh intern, no hit yet.
+  EXPECT_EQ(catalog->Find("interns")->GetInt().ValueOr(-1), 1);
+
+  ::close(fd);
+  EXPECT_TRUE(server.Join().ok());
+}
+
+TEST(EventLoopTest, ShutdownFlagDrainsGracefully) {
+  EventLoopConfig config;
+  config.num_workers = 2;
+  TestServer server(config);  // max_connections = 0: only drain exits
+  const int port = server.WaitForPort();
+  ASSERT_GT(port, 0);
+  const int fd = ConnectTo(port);
+  ASSERT_GE(fd, 0);
+
+  ASSERT_TRUE(WriteAll(
+      fd, std::string("{\"id\":1,\"verb\":\"open\",\"session\":\"d\","
+                      "\"scenario\":\"synthetic\",") +
+              kFastConfig + "}\n{\"id\":2,\"verb\":\"mine\","
+                            "\"session\":\"d\"}\n"));
+  const std::vector<std::string> lines = ReadLines(fd, 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(MustParse(lines[1]).ok);
+
+  // The drain closes the idle connection and the loop returns OK even
+  // though the client never disconnected and max_connections is 0.
+  server.RequestShutdown();
+  EXPECT_TRUE(ReadsEof(fd));
+  ::close(fd);
+  EXPECT_TRUE(server.Join().ok());
+}
+
+}  // namespace
+}  // namespace sisd::serve

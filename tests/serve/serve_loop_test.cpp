@@ -220,6 +220,75 @@ TEST(ServeLoopTest, SkipsCommentsAndAnswersMalformedLines) {
             std::string::npos);
 }
 
+TEST(ServeLoopTest, ProcessRequestReturnsStructuredOutcome) {
+  SessionManager manager((ServeConfig()));
+
+  // Success: verb and code are structured fields, not substrings.
+  const RequestOutcome ok =
+      ProcessRequest(manager, "{\"id\":1,\"verb\":\"stats\"}");
+  EXPECT_FALSE(ok.skipped);
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.code, StatusCode::kOk);
+  EXPECT_EQ(ok.verb, "stats");
+
+  // A typed error carries its code even when the response payload could
+  // contain arbitrary text (the old substring accounting's blind spot).
+  const RequestOutcome missing = ProcessRequest(
+      manager, "{\"id\":2,\"verb\":\"mine\",\"session\":\"ghost\"}");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.code, StatusCode::kNotFound);
+  EXPECT_EQ(missing.verb, "mine");
+
+  // A line that never parsed has no verb; the outcome still classifies.
+  const RequestOutcome garbage = ProcessRequest(manager, "not json");
+  EXPECT_FALSE(garbage.ok);
+  EXPECT_TRUE(garbage.verb.empty());
+  EXPECT_FALSE(garbage.response.empty());
+
+  // Comments and blanks are skipped, with no response bytes at all.
+  EXPECT_TRUE(ProcessRequest(manager, "# comment").skipped);
+  EXPECT_TRUE(ProcessRequest(manager, "   ").skipped);
+  EXPECT_TRUE(ProcessRequest(manager, "# comment").response.empty());
+}
+
+TEST(ServeLoopTest, StreamErrorCountsComeFromStructuredOutcomes) {
+  // A success whose payload embeds the literal text ok":false (via a
+  // dataset name) must not count as an error: accounting reads the
+  // structured outcome, never the wire bytes.
+  SessionManager manager((ServeConfig()));
+  std::istringstream in(
+      "{\"id\":1,\"verb\":\"dataset_load\",\"scenario\":\"synthetic\","
+      "\"name\":\"weird\\\"ok\\\":false\"}\n");
+  std::ostringstream out;
+  const ServeLoopStats stats = ServeStream(manager, in, out);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.errors, 0u) << out.str();
+  EXPECT_NE(out.str().find("\"ok\":true"), std::string::npos);
+}
+
+TEST(ServeLoopTest, StreamBoundsRequestLineLength) {
+  SessionManager manager((ServeConfig()));
+  // An oversized line answers one InvalidArgument response and ends the
+  // stream (the analogue of a connection close); the valid request after
+  // it is never read. Buffering stops at the bound.
+  std::string script(4096, 'x');
+  script += "\n{\"id\":1,\"verb\":\"stats\"}\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  ServeStreamOptions options;
+  options.max_line_bytes = 128;
+  const ServeLoopStats stats = ServeStream(manager, in, out, options);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.oversized, 1u);
+  const std::vector<std::string> lines = SplitString(out.str(), '\n');
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("InvalidArgument"), std::string::npos);
+  EXPECT_NE(lines[0].find("128-byte bound"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"ok\":true"), std::string::npos)
+      << "request after the oversized line must not be answered";
+}
+
 /// Mutex-guarded capture streambuf: the server thread writes the listen
 /// announcement while the test polls it, so a plain ostringstream would
 /// race.
@@ -306,6 +375,63 @@ TEST(ServeLoopTest, TcpTransportServesTheSameProtocol) {
       SplitString(scripted, '\n');
   ASSERT_GE(scripted_lines.size(), 2u);
   EXPECT_EQ(lines[1], scripted_lines[1]);
+}
+
+TEST(ServeLoopTest, TcpTransportBoundsRequestLineLength) {
+  SessionManager manager((ServeConfig()));
+  SyncCaptureBuf announce_buf;
+  std::ostream announce(&announce_buf);
+  std::thread server([&manager, &announce] {
+    ServeTcpOptions options;
+    options.max_connections = 1;
+    options.max_line_bytes = 128;
+    const Status status = ServeTcp(manager, /*port=*/0, announce, options);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  int port = 0;
+  for (int i = 0; i < 500 && port == 0; ++i) {
+    const std::string text = announce_buf.Snapshot();
+    const size_t colon = text.rfind(':');
+    if (colon != std::string::npos && text.find('\n') != std::string::npos) {
+      port = std::atoi(text.c_str() + colon + 1);
+    }
+    if (port == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_GT(port, 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // Oversized line, then a valid request that must never be answered.
+  std::string payload(4096, 'x');
+  payload += "\n{\"id\":1,\"verb\":\"stats\"}\n";
+  ASSERT_EQ(::write(fd, payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  std::string received;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+  const std::vector<std::string> lines = SplitString(received, '\n');
+  size_t responses = 0;
+  for (const std::string& line : lines) {
+    if (!line.empty()) ++responses;
+  }
+  ASSERT_EQ(responses, 1u) << "connection answered after the bound: "
+                           << received;
+  EXPECT_NE(lines[0].find("InvalidArgument"), std::string::npos);
+  EXPECT_NE(lines[0].find("128-byte bound"), std::string::npos);
 }
 
 }  // namespace

@@ -1,31 +1,40 @@
 // sisd_serve — concurrent mining-session server.
 //
 // Speaks the line-delimited JSON protocol of docs/PROTOCOL.md over
-// stdin/stdout (default), a request-script file (--script), or a loopback
-// TCP socket (--tcp PORT, one thread per connection). All sessions share
-// one scoring pool and at most --max-resident of them stay in memory;
-// colder ones spill to --spill-dir snapshots and restore transparently.
+// stdin/stdout (default), a request-script file (--script), a loopback
+// TCP socket (--tcp PORT, one thread per connection), or a non-blocking
+// epoll event loop (--epoll PORT, fixed worker pool, pipelined requests,
+// bounded per-session queues). All sessions share one scoring pool and
+// at most --max-resident of them stay in memory; colder ones spill to
+// --spill-dir snapshots and restore transparently.
 //
 //   sisd_serve                              # stdio, defaults
 //   sisd_serve --script requests.jsonl      # scripted run (CI smoke)
 //   sisd_serve --tcp 0 --spill-dir /tmp/s   # ephemeral port, disk spill
+//   sisd_serve --epoll 0 --workers 4        # event loop, 4 workers
 //
 // Responses go to stdout only; diagnostics (banner, the TCP listen line)
 // go to stderr, so stdout is byte-for-byte the protocol transcript.
+// SIGTERM/SIGINT start a graceful drain on the socket transports:
+// the listener stops, in-flight requests finish and flush, then exit.
+
+#include <csignal>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
-
 #include <vector>
 
 #include "catalog/fingerprint.hpp"
 #include "common/status.hpp"
 #include "common/strings.hpp"
 #include "search/thread_pool.hpp"
+#include "serve/event_loop_server.hpp"
+#include "serve/metrics.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/session_manager.hpp"
@@ -36,14 +45,30 @@ namespace {
 constexpr const char* kUsage = R"(sisd_serve — concurrent subgroup-discovery session server
 
 USAGE
-  sisd_serve [--script FILE] [--tcp PORT [--accept-once]] [options]
+  sisd_serve [--script FILE] [--tcp PORT [--accept-once]]
+             [--epoll PORT] [options]
 
 TRANSPORT
   (default)          read requests from stdin, answer on stdout
   --script FILE      read requests from FILE instead of stdin
-  --tcp PORT         serve loopback TCP instead of stdio (0 = ephemeral
-                     port; the chosen port is announced on stderr)
-  --accept-once      exit after the first TCP connection closes (tests)
+  --tcp PORT         serve loopback TCP, one thread per connection (0 =
+                     ephemeral port; the port is announced on stderr)
+  --epoll PORT       serve loopback TCP on a non-blocking event loop:
+                     pipelined requests, a fixed worker pool, bounded
+                     per-session queues (overflow answers Unavailable),
+                     graceful drain on SIGTERM
+  --accept-once      exit after the first connection closes (tests)
+
+EVENT-LOOP OPTIONS (--epoll)
+  --workers N        dispatch workers executing requests (default 2);
+                     distinct from --threads, which parallelizes within
+                     one mine
+  --queue-capacity N per-session queue bound before requests are
+                     rejected with Unavailable (default 64)
+  --max-connections N
+                     total connections accepted before the server drains
+                     and exits (default 0 = serve until SIGTERM); also
+                     honoured by --tcp
 
 SERVICE OPTIONS
   --max-resident N   sessions kept in memory before LRU spill (default 64)
@@ -53,6 +78,9 @@ SERVICE OPTIONS
   --shards N         shards of the session map (default 8)
   --catalog-bytes N  dataset-catalog byte budget before LRU drop of
                      unreferenced datasets (default 0 = unlimited)
+  --max-line-bytes N request-line length bound for every transport
+                     (default 1048576); longer lines answer
+                     InvalidArgument and close the connection
   --preload SPEC     load a dataset into the catalog at startup
                      (repeatable). SPEC is a scenario name (crime, ...) or
                      PATH=TARGET[,TARGET...] for a CSV file (ingested
@@ -62,16 +90,26 @@ SERVICE OPTIONS
 
 PROTOCOL
   One JSON request per line; verbs: open, mine, assimilate, history,
-  export, save, evict, close, stats, dataset_load, dataset_list,
+  export, save, evict, close, stats, metrics, dataset_load, dataset_list,
   dataset_drop. See docs/PROTOCOL.md for the full schema and worked
   examples.
 )";
+
+/// Set from the SIGTERM/SIGINT handler; polled by the socket transports.
+std::atomic<bool> g_shutdown{false};
+
+void OnTerminate(int) { g_shutdown.store(true); }
 
 struct ServeArgs {
   serve::ServeConfig config;
   std::optional<std::string> script;
   std::optional<int> tcp_port;
+  std::optional<int> epoll_port;
   bool accept_once = false;
+  size_t workers = 2;
+  size_t queue_capacity = 64;
+  size_t max_connections = 0;
+  size_t max_line_bytes = serve::kDefaultMaxLineBytes;
   std::vector<std::string> preloads;
 };
 
@@ -102,12 +140,38 @@ Result<ServeArgs> ParseArgs(int argc, char** argv) {
     const std::string value = argv[++i];
     if (flag == "--script") {
       args.script = value;
-    } else if (flag == "--tcp") {
+    } else if (flag == "--tcp" || flag == "--epoll") {
       SISD_ASSIGN_OR_RETURN(port, ParseIntFlag(flag, value));
       if (port < 0 || port > 65535) {
-        return Status::InvalidArgument("--tcp expects a port in 0..65535");
+        return Status::InvalidArgument(flag +
+                                       " expects a port in 0..65535");
       }
-      args.tcp_port = int(port);
+      (flag == "--tcp" ? args.tcp_port : args.epoll_port) = int(port);
+    } else if (flag == "--workers") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 1 || n > 256) {
+        return Status::InvalidArgument("--workers must be in 1..256");
+      }
+      args.workers = size_t(n);
+    } else if (flag == "--queue-capacity") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 1) {
+        return Status::InvalidArgument("--queue-capacity must be >= 1");
+      }
+      args.queue_capacity = size_t(n);
+    } else if (flag == "--max-connections") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 0) {
+        return Status::InvalidArgument(
+            "--max-connections must be >= 0 (0 = unlimited)");
+      }
+      args.max_connections = size_t(n);
+    } else if (flag == "--max-line-bytes") {
+      SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
+      if (n < 64) {
+        return Status::InvalidArgument("--max-line-bytes must be >= 64");
+      }
+      args.max_line_bytes = size_t(n);
     } else if (flag == "--max-resident") {
       SISD_ASSIGN_OR_RETURN(n, ParseIntFlag(flag, value));
       if (n < 1) {
@@ -142,6 +206,9 @@ Result<ServeArgs> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
   }
+  if (args.tcp_port.has_value() && args.epoll_port.has_value()) {
+    return Status::InvalidArgument("--tcp and --epoll are exclusive");
+  }
   return args;
 }
 
@@ -153,14 +220,15 @@ int Main(int argc, char** argv) {
       return 0;
     }
   }
-  Result<ServeArgs> args = ParseArgs(argc, argv);
-  if (!args.ok()) {
-    std::fprintf(stderr, "error: %s\n\n%s", args.status().message().c_str(),
-                 kUsage);
+  Result<ServeArgs> parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n\n%s",
+                 parsed.status().message().c_str(), kUsage);
     return 2;
   }
-  serve::SessionManager manager(args.Value().config);
-  for (const std::string& spec : args.Value().preloads) {
+  const ServeArgs& args = parsed.Value();
+  serve::SessionManager manager(args.config);
+  for (const std::string& spec : args.preloads) {
     Result<catalog::PinnedDataset> loaded =
         serve::PreloadDataset(*manager.catalog(), spec);
     if (!loaded.ok()) {
@@ -178,35 +246,61 @@ int Main(int argc, char** argv) {
   std::fprintf(stderr,
                "sisd_serve: max_resident=%zu shards=%zu workers=%zu "
                "spill=%s\n",
-               std::max<size_t>(args.Value().config.max_resident, 1),
-               std::max<size_t>(args.Value().config.num_shards, 1),
+               std::max<size_t>(args.config.max_resident, 1),
+               std::max<size_t>(args.config.num_shards, 1),
                manager.thread_pool()->num_workers(),
-               args.Value().config.spill_dir.empty()
+               args.config.spill_dir.empty()
                    ? "<memory>"
-                   : args.Value().config.spill_dir.c_str());
+                   : args.config.spill_dir.c_str());
 
-  if (args.Value().tcp_port.has_value()) {
-    const Status status =
-        serve::ServeTcp(manager, *args.Value().tcp_port, std::cerr,
-                        args.Value().accept_once ? 1 : 0);
+  if (args.tcp_port.has_value() || args.epoll_port.has_value()) {
+    std::signal(SIGTERM, OnTerminate);
+    std::signal(SIGINT, OnTerminate);
+    serve::ServeMetrics metrics;
+    Status status;
+    if (args.epoll_port.has_value()) {
+      serve::EventLoopConfig config;
+      config.port = *args.epoll_port;
+      config.num_workers = args.workers;
+      config.queue_capacity = args.queue_capacity;
+      config.max_line_bytes = args.max_line_bytes;
+      config.max_connections =
+          args.accept_once ? 1 : args.max_connections;
+      status = serve::ServeEventLoop(manager, config, std::cerr, &metrics,
+                                     &g_shutdown);
+    } else {
+      serve::ServeTcpOptions options;
+      options.max_connections =
+          args.accept_once ? 1 : args.max_connections;
+      options.max_line_bytes = args.max_line_bytes;
+      options.metrics = &metrics;
+      status = serve::ServeTcp(manager, *args.tcp_port, std::cerr, options);
+    }
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;
     }
+    std::fprintf(
+        stderr, "sisd_serve: %llu requests, %llu errors, %llu rejected\n",
+        static_cast<unsigned long long>(metrics.requests()),
+        static_cast<unsigned long long>(metrics.errors()),
+        static_cast<unsigned long long>(metrics.rejected()));
     return 0;
   }
 
   serve::ServeLoopStats stats;
-  if (args.Value().script.has_value()) {
-    std::ifstream in(*args.Value().script);
+  serve::ServeStreamOptions stream_options;
+  stream_options.max_line_bytes = args.max_line_bytes;
+  if (args.script.has_value()) {
+    std::ifstream in(*args.script);
     if (!in) {
       std::fprintf(stderr, "error: cannot open script '%s'\n",
-                   args.Value().script->c_str());
+                   args.script->c_str());
       return 1;
     }
-    stats = serve::ServeStream(manager, in, std::cout);
+    stats = serve::ServeStream(manager, in, std::cout, stream_options);
   } else {
-    stats = serve::ServeStream(manager, std::cin, std::cout);
+    stats = serve::ServeStream(manager, std::cin, std::cout, stream_options);
   }
   std::fprintf(stderr, "sisd_serve: %llu requests, %llu errors\n",
                static_cast<unsigned long long>(stats.requests),
