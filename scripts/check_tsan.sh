@@ -11,7 +11,10 @@
 # the worker pool, backpressure rejection and connection teardown;
 # event_loop_test's transport contract), the parallel
 # branch-and-bound (optimal_search_test's multi-thread wave expansion with
-# the shared atomic incumbent), plus the kernel suites
+# the shared atomic incumbent), the greedy subgroup-list miner
+# (list_miner_test's engine-vs-reference differential across thread
+# counts; mine_list_serve_test's byte-identity across transports and
+# worker counts), plus the kernel suites
 # (kernel_dispatch_test flips the process-wide ISA slot while the engine's
 # workers score through it; kernel_parity_test covers the read-once
 # environment resolution).
@@ -25,9 +28,10 @@ cmake -B build-tsan -S . \
   -DSISD_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j \
   --target batch_evaluator_test thread_invariance_test beam_search_test \
-           optimal_search_test serve_hammer_test serve_loop_test \
-           catalog_hammer_test event_loop_test event_loop_hammer_test \
+           optimal_search_test list_miner_test serve_hammer_test \
+           serve_loop_test mine_list_serve_test catalog_hammer_test \
+           event_loop_test event_loop_hammer_test \
            kernel_parity_test kernel_dispatch_test
 cd build-tsan
 ctest --output-on-failure \
-  -R 'batch_evaluator_test|thread_invariance_test|beam_search_test|optimal_search_test|serve_hammer_test|serve_loop_test|catalog_hammer_test|event_loop_test|event_loop_hammer_test|kernel_parity_test|kernel_dispatch_test'
+  -R 'batch_evaluator_test|thread_invariance_test|beam_search_test|optimal_search_test|list_miner_test|serve_hammer_test|serve_loop_test|mine_list_serve_test|catalog_hammer_test|event_loop_test|event_loop_hammer_test|kernel_parity_test|kernel_dispatch_test'

@@ -1,6 +1,8 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <utility>
 
 #include "common/strings.hpp"
@@ -185,6 +187,44 @@ Result<IterationResult> MiningSession::AssimilateIntention(
   return iteration;
 }
 
+Result<ListMineResult> MiningSession::MineList(int max_rules) {
+  if (max_rules < 1) {
+    return Status::InvalidArgument("max_rules must be >= 1");
+  }
+  if (!list_.has_value()) {
+    list_ = search::MakeEmptySubgroupList(dataset_->targets,
+                                          config_.list_gain);
+  }
+  search::ListSearchConfig list_config;
+  list_config.search = config_.search;
+  list_config.gain = config_.list_gain;
+  list_config.max_rules = max_rules;
+  list_config.min_captured =
+      std::max<size_t>(size_t{1}, config_.search.min_coverage);
+
+  const size_t rules_before = list_->rules.size();
+  const search::ListMineStats stats = search::ExtendSubgroupList(
+      dataset_->descriptions, dataset_->targets, *pool_, list_config,
+      &*list_, thread_pool_.get());
+
+  ListMineResult result;
+  result.rules.assign(list_->rules.begin() +
+                          static_cast<ptrdiff_t>(rules_before),
+                      list_->rules.end());
+  result.total_gain = list_->total_gain;
+  result.candidates_evaluated = stats.num_evaluated;
+  result.exhausted = stats.exhausted;
+  result.hit_time_budget = stats.hit_time_budget;
+  // A call that appended nothing left the list untouched; it is not
+  // history (so snapshots, replays and serve generations stay in sync
+  // with actual state changes).
+  if (!result.rules.empty()) {
+    list_history_.push_back(result);
+  }
+  Touch();
+  return result;
+}
+
 Result<std::vector<IterationResult>> MiningSession::MineIterations(
     int count) {
   std::vector<IterationResult> results;
@@ -276,6 +316,17 @@ std::string MiningSession::SaveToString(SnapshotForm form) const {
     history.Append(EncodeIterationResult(iteration));
   }
   out.Set("history", std::move(history));
+  // Additive schema field: written only when list mining happened, so
+  // sessions that never called MineList keep their exact historical bytes
+  // (same policy as `spread_error` above and `use_optimal_search` in the
+  // config codec).
+  if (!list_history_.empty()) {
+    JsonValue list_history = JsonValue::Array();
+    for (const ListMineResult& entry : list_history_) {
+      list_history.Append(EncodeListMineResult(entry));
+    }
+    out.Set("list_history", std::move(list_history));
+  }
   return out.Write();
 }
 
@@ -387,6 +438,36 @@ Result<MiningSession> MiningSession::RestoreFromString(
   for (const JsonValue& entry : history_json->items()) {
     SISD_ASSIGN_OR_RETURN(iteration, DecodeIterationResult(entry));
     session.history_.push_back(std::move(iteration));
+  }
+
+  // Additive field: the subgroup-list history. The current list is derived
+  // state — rebuilt by replaying the saved rules in order (integer bitset
+  // ops plus stored doubles) onto a freshly fitted default model, which is
+  // a deterministic function of the targets. The rebuilt list therefore
+  // continues mining bit-identically to the saved one.
+  if (const JsonValue* list_history_json = root.Find("list_history")) {
+    if (!list_history_json->is_array()) {
+      return Status::InvalidArgument("session list_history must be an array");
+    }
+    session.list_history_.reserve(list_history_json->size());
+    for (const JsonValue& entry : list_history_json->items()) {
+      SISD_ASSIGN_OR_RETURN(list_result, DecodeListMineResult(entry));
+      session.list_history_.push_back(std::move(list_result));
+    }
+    if (!session.list_history_.empty()) {
+      session.list_ = search::MakeEmptySubgroupList(
+          session.dataset_->targets, session.config_.list_gain);
+      const size_t num_rows = session.dataset_->num_rows();
+      for (const ListMineResult& entry : session.list_history_) {
+        for (const search::SubgroupRule& rule : entry.rules) {
+          if (rule.extension.universe_size() != num_rows) {
+            return Status::InvalidArgument(
+                "list rule extension universe disagrees with the dataset");
+          }
+          search::ReplaySubgroupRule(rule, &*session.list_);
+        }
+      }
+    }
   }
   return session;
 }

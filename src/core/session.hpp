@@ -33,8 +33,10 @@
 #include "pattern/patterns.hpp"
 #include "search/beam_search.hpp"
 #include "search/condition_pool.hpp"
+#include "search/list_miner.hpp"
 #include "search/thread_pool.hpp"
 #include "si/interestingness.hpp"
+#include "si/list_gain.hpp"
 
 namespace sisd::core {
 
@@ -68,6 +70,9 @@ struct MinerConfig {
   /// later iterations (evolved multi-group model) fall back to pure
   /// best-first enumeration, so keep `max_depth` small.
   bool use_optimal_search = false;
+  /// Gain criterion of the subgroup-list workload (`MineList`); the search
+  /// knobs in `search` are shared between both workloads.
+  si::ListGainParams list_gain;
 };
 
 /// \brief A fully scored location pattern.
@@ -101,6 +106,22 @@ struct IterationResult {
   std::vector<ScoredLocationPattern> ranked;
   /// Search diagnostics.
   size_t candidates_evaluated = 0;
+  bool hit_time_budget = false;
+};
+
+/// \brief Output of one `MineList` call — the second history type of the
+/// session (list rounds are recorded separately from the iterative
+/// dialogue's `IterationResult`s; see the snapshot history-type policy in
+/// docs/PROTOCOL.md).
+struct ListMineResult {
+  /// The rules this call appended, in list order (full records, so replay
+  /// from a snapshot needs no re-search).
+  std::vector<search::SubgroupRule> rules;
+  /// The list's cumulative gain after this call.
+  double total_gain = 0.0;
+  size_t candidates_evaluated = 0;
+  /// No further rule can compress: the list is complete.
+  bool exhausted = false;
   bool hit_time_budget = false;
 };
 
@@ -155,6 +176,16 @@ class MiningSession {
 
   /// Runs `count` iterations, stopping early on search failure.
   Result<std::vector<IterationResult>> MineIterations(int count);
+
+  /// Extends the session's subgroup list by up to `max_rules` greedily
+  /// chosen rules (SSD++-style; search/list_miner.hpp). The list persists
+  /// across calls — each call continues where the last stopped — and is
+  /// independent of the iterative dialogue: `MineNext` evolves the
+  /// background model, `MineList` routes rows to per-rule local models
+  /// with the dataset marginal as the default rule. A call that appends at
+  /// least one rule is recorded in `list_history()`; a call that appends
+  /// none returns `exhausted` without changing any session state.
+  Result<ListMineResult> MineList(int max_rules);
 
   /// Assimilates an analyst-chosen intention without searching: scores it
   /// as a location pattern under the current model, registers the location
@@ -273,6 +304,18 @@ class MiningSession {
   /// full history of the saved session).
   const std::vector<IterationResult>& history() const { return history_; }
 
+  /// History of all `MineList` calls that appended rules (the second
+  /// snapshot history type; additive `list_history` field).
+  const std::vector<ListMineResult>& list_history() const {
+    return list_history_;
+  }
+
+  /// The session's current subgroup list; null until the first `MineList`
+  /// call (or restore of a snapshot with list history).
+  const search::SubgroupList* subgroup_list() const {
+    return list_.has_value() ? &*list_ : nullptr;
+  }
+
   /// \name Runtime attachments and activity tracking (not serialized).
   /// @{
 
@@ -337,6 +380,11 @@ class MiningSession {
   model::PatternAssimilator assimilator_;
   std::optional<catalog::DatasetRef> origin_;
   std::vector<IterationResult> history_;
+  /// Current subgroup list (absent until list mining starts). Rebuilt on
+  /// restore by replaying `list_history_`'s rules — integer bitset ops and
+  /// stored doubles, so the rebuilt state is bit-identical.
+  std::optional<search::SubgroupList> list_;
+  std::vector<ListMineResult> list_history_;
   std::shared_ptr<search::ThreadPool> thread_pool_;
   std::chrono::steady_clock::time_point last_activity_ =
       std::chrono::steady_clock::now();

@@ -216,6 +216,13 @@ JsonValue EncodeMinerConfig(const MinerConfig& config) {
               : JsonValue::Null());
   out.Set("prior_ridge", JsonValue::Double(config.prior_ridge));
   out.Set("use_optimal_search", JsonValue::Bool(config.use_optimal_search));
+  JsonValue list_gain = JsonValue::Object();
+  list_gain.Set("alpha", JsonValue::Double(config.list_gain.alpha));
+  list_gain.Set("beta", JsonValue::Double(config.list_gain.beta));
+  list_gain.Set("variance_floor",
+                JsonValue::Double(config.list_gain.variance_floor));
+  list_gain.Set("normalized", JsonValue::Bool(config.list_gain.normalized));
+  out.Set("list_gain", std::move(list_gain));
   return out;
 }
 
@@ -263,6 +270,20 @@ Result<MinerConfig> DecodeMinerConfig(const JsonValue& json) {
   if (const JsonValue* optimal = json.Find("use_optimal_search")) {
     SISD_ASSIGN_OR_RETURN(v, optimal->GetBool());
     out.use_optimal_search = v;
+  }
+  // Additive field (subgroup-list PR): absent in older snapshots, which
+  // restore with the default gain knobs — matching MinerConfig.
+  if (const JsonValue* list_gain = json.Find("list_gain")) {
+    SISD_ASSIGN_OR_RETURN(alpha, GetDoubleField(*list_gain, "alpha"));
+    out.list_gain.alpha = alpha;
+    SISD_ASSIGN_OR_RETURN(beta, GetDoubleField(*list_gain, "beta"));
+    out.list_gain.beta = beta;
+    SISD_ASSIGN_OR_RETURN(floor,
+                          GetDoubleField(*list_gain, "variance_floor"));
+    out.list_gain.variance_floor = floor;
+    SISD_ASSIGN_OR_RETURN(normalized,
+                          GetBoolField(*list_gain, "normalized"));
+    out.list_gain.normalized = normalized;
   }
   return out;
 }
@@ -386,6 +407,89 @@ Result<IterationResult> DecodeIterationResult(const JsonValue& json) {
   SISD_ASSIGN_OR_RETURN(evaluated,
                         GetSizeField(json, "candidates_evaluated"));
   out.candidates_evaluated = evaluated;
+  SISD_ASSIGN_OR_RETURN(hit_budget, GetBoolField(json, "hit_time_budget"));
+  out.hit_time_budget = hit_budget;
+  return out;
+}
+
+JsonValue EncodeSubgroupRule(const search::SubgroupRule& rule) {
+  JsonValue out = JsonValue::Object();
+  out.Set("intention", serialize::EncodeIntention(rule.intention));
+  out.Set("extension", serialize::EncodeExtension(rule.extension));
+  out.Set("captured", serialize::EncodeExtension(rule.captured));
+  out.Set("mean", serialize::EncodeVector(rule.local.mean));
+  out.Set("variance", serialize::EncodeVector(rule.local.variance));
+  out.Set("gain", JsonValue::Double(rule.gain));
+  return out;
+}
+
+Result<search::SubgroupRule> DecodeSubgroupRule(const JsonValue& json) {
+  search::SubgroupRule out;
+  SISD_ASSIGN_OR_RETURN(intention_json, json.Get("intention"));
+  SISD_ASSIGN_OR_RETURN(intention,
+                        serialize::DecodeIntention(*intention_json));
+  out.intention = std::move(intention);
+  SISD_ASSIGN_OR_RETURN(extension_json, json.Get("extension"));
+  SISD_ASSIGN_OR_RETURN(extension,
+                        serialize::DecodeExtension(*extension_json));
+  out.extension = std::move(extension);
+  SISD_ASSIGN_OR_RETURN(captured_json, json.Get("captured"));
+  SISD_ASSIGN_OR_RETURN(captured,
+                        serialize::DecodeExtension(*captured_json));
+  out.captured = std::move(captured);
+  if (out.captured.universe_size() != out.extension.universe_size()) {
+    return Status::InvalidArgument(
+        "rule captured/extension universe sizes disagree");
+  }
+  SISD_ASSIGN_OR_RETURN(mean_json, json.Get("mean"));
+  SISD_ASSIGN_OR_RETURN(mean, serialize::DecodeVector(*mean_json));
+  out.local.mean = std::move(mean);
+  SISD_ASSIGN_OR_RETURN(variance_json, json.Get("variance"));
+  SISD_ASSIGN_OR_RETURN(variance,
+                        serialize::DecodeVector(*variance_json));
+  out.local.variance = std::move(variance);
+  if (out.local.variance.size() != out.local.mean.size()) {
+    return Status::InvalidArgument(
+        "rule mean/variance dimensions disagree");
+  }
+  SISD_ASSIGN_OR_RETURN(gain, GetDoubleField(json, "gain"));
+  out.gain = gain;
+  return out;
+}
+
+JsonValue EncodeListMineResult(const ListMineResult& result) {
+  JsonValue out = JsonValue::Object();
+  JsonValue rules = JsonValue::Array();
+  for (const search::SubgroupRule& rule : result.rules) {
+    rules.Append(EncodeSubgroupRule(rule));
+  }
+  out.Set("rules", std::move(rules));
+  out.Set("total_gain", JsonValue::Double(result.total_gain));
+  out.Set("candidates_evaluated",
+          JsonValue::Int(int64_t(result.candidates_evaluated)));
+  out.Set("exhausted", JsonValue::Bool(result.exhausted));
+  out.Set("hit_time_budget", JsonValue::Bool(result.hit_time_budget));
+  return out;
+}
+
+Result<ListMineResult> DecodeListMineResult(const JsonValue& json) {
+  ListMineResult out;
+  SISD_ASSIGN_OR_RETURN(rules_json, json.Get("rules"));
+  if (!rules_json->is_array()) {
+    return Status::InvalidArgument("list rules must be an array");
+  }
+  out.rules.reserve(rules_json->size());
+  for (const JsonValue& entry : rules_json->items()) {
+    SISD_ASSIGN_OR_RETURN(rule, DecodeSubgroupRule(entry));
+    out.rules.push_back(std::move(rule));
+  }
+  SISD_ASSIGN_OR_RETURN(total_gain, GetDoubleField(json, "total_gain"));
+  out.total_gain = total_gain;
+  SISD_ASSIGN_OR_RETURN(evaluated,
+                        GetSizeField(json, "candidates_evaluated"));
+  out.candidates_evaluated = evaluated;
+  SISD_ASSIGN_OR_RETURN(exhausted, GetBoolField(json, "exhausted"));
+  out.exhausted = exhausted;
   SISD_ASSIGN_OR_RETURN(hit_budget, GetBoolField(json, "hit_time_budget"));
   out.hit_time_budget = hit_budget;
   return out;

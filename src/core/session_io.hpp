@@ -43,6 +43,16 @@ Result<IterationResult> DecodeIterationResult(
     const serialize::JsonValue& json);
 /// @}
 
+/// \name Subgroup-list codecs (the `list_history` snapshot field).
+/// @{
+serialize::JsonValue EncodeSubgroupRule(const search::SubgroupRule& rule);
+Result<search::SubgroupRule> DecodeSubgroupRule(
+    const serialize::JsonValue& json);
+serialize::JsonValue EncodeListMineResult(const ListMineResult& result);
+Result<ListMineResult> DecodeListMineResult(
+    const serialize::JsonValue& json);
+/// @}
+
 }  // namespace sisd::core
 
 #endif  // SISD_CORE_SESSION_IO_HPP_

@@ -1,0 +1,275 @@
+#include "search/list_miner.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "kernels/kernels.hpp"
+#include "search/batch_evaluator.hpp"
+
+namespace sisd::search {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr uint32_t kNoParent = std::numeric_limits<uint32_t>::max();
+
+/// The target matrix is row-major, so its columns are strided; the moment
+/// kernels need one contiguous double per row. Copied once per call.
+std::vector<std::vector<double>> CopyTargetColumns(
+    const linalg::Matrix& targets) {
+  std::vector<std::vector<double>> columns(targets.cols());
+  for (size_t j = 0; j < targets.cols(); ++j) {
+    columns[j].resize(targets.rows());
+    for (size_t i = 0; i < targets.rows(); ++i) {
+      columns[j][i] = targets(i, j);
+    }
+  }
+  return columns;
+}
+
+/// Engine evaluator: scores a candidate by the list gain of the rows it
+/// would newly capture, through the fused masked-moments kernel — the
+/// captured set `parent & uncovered & condition` is never materialized
+/// (the per-worker scratch holds `parent & uncovered`, reused across the
+/// consecutive candidates sharing a parent). The kernel lane contract
+/// makes masked lanes unobservable, so these fused moments are bit-equal
+/// to moments over the materialized captured bitset — the property the
+/// naive reference below checks differentially.
+class ListGainEvaluator final : public BatchEvaluator {
+ public:
+  ListGainEvaluator(const std::vector<std::vector<double>>& columns,
+                    const pattern::Extension& uncovered,
+                    const si::LocalNormalModel& default_model,
+                    const si::ListGainParams& params, size_t min_captured)
+      : columns_(&columns),
+        uncovered_(&uncovered),
+        default_(&default_model),
+        params_(params),
+        min_captured_(min_captured) {}
+
+  bool SupportsParallelScoring() const override { return true; }
+
+  void Prepare(size_t num_workers) override {
+    workers_.resize(num_workers);
+    for (Worker& w : workers_) w.moments.resize(columns_->size());
+  }
+
+  void ScoreChunk(const CandidateBatch& batch, size_t begin, size_t end,
+                  size_t worker, double* scores) override {
+    Worker& w = workers_[worker];
+    const size_t dy = columns_->size();
+    uint32_t cached_parent = kNoParent;
+    for (size_t i = begin; i < end; ++i) {
+      const CandidateBatch::Item& item = batch.items[i];
+      if (item.parent != cached_parent) {
+        pattern::Extension::IntersectInto(batch.parent_extension(item),
+                                          *uncovered_, &w.scratch);
+        cached_parent = item.parent;
+      }
+      const pattern::Extension& condition = batch.condition_extension(item);
+      const uint64_t* a = w.scratch.blocks().data();
+      const uint64_t* b = condition.blocks().data();
+      const size_t num_blocks = w.scratch.blocks().size();
+      double score = kNegInf;
+      if (dy > 0) {
+        bool accepted = true;
+        for (size_t j = 0; j < dy; ++j) {
+          w.moments[j] =
+              kernels::MaskedMomentsAnd((*columns_)[j].data(), a, b,
+                                        num_blocks);
+          if (j == 0 && w.moments[0].count < min_captured_) {
+            accepted = false;
+            break;
+          }
+        }
+        if (accepted) {
+          score = si::ListGainFromMoments(w.moments.data(), dy, *default_,
+                                          batch.ids[i].size(), params_);
+        }
+      }
+      scores[i] = score;
+    }
+  }
+
+ private:
+  struct Worker {
+    pattern::Extension scratch{0};  ///< parent & uncovered
+    std::vector<kernels::MaskedMoments> moments;
+  };
+
+  const std::vector<std::vector<double>>* columns_;
+  const pattern::Extension* uncovered_;
+  const si::LocalNormalModel* default_;
+  si::ListGainParams params_;
+  size_t min_captured_;
+  std::vector<Worker> workers_;
+};
+
+/// Reference evaluator: materializes every candidate extension and its
+/// captured subset, recomputes moments on the materialized bitset, and
+/// declines parallel scoring — no scratch reuse, no fused masks, no
+/// threads. Deliberately the slowest honest implementation.
+class NaiveListGainEvaluator final : public BatchEvaluator {
+ public:
+  NaiveListGainEvaluator(const std::vector<std::vector<double>>& columns,
+                         const pattern::Extension& uncovered,
+                         const si::LocalNormalModel& default_model,
+                         const si::ListGainParams& params,
+                         size_t min_captured)
+      : columns_(&columns),
+        uncovered_(&uncovered),
+        default_(&default_model),
+        params_(params),
+        min_captured_(min_captured) {}
+
+  void ScoreChunk(const CandidateBatch& batch, size_t begin, size_t end,
+                  size_t /*worker*/, double* scores) override {
+    const size_t dy = columns_->size();
+    for (size_t i = begin; i < end; ++i) {
+      const CandidateBatch::Item& item = batch.items[i];
+      const pattern::Extension candidate = pattern::Extension::Intersect(
+          batch.parent_extension(item), batch.condition_extension(item));
+      const pattern::Extension captured =
+          pattern::Extension::Intersect(candidate, *uncovered_);
+      if (dy == 0 || captured.count() < min_captured_) {
+        scores[i] = kNegInf;
+        continue;
+      }
+      std::vector<kernels::MaskedMoments> moments(dy);
+      const uint64_t* blocks = captured.blocks().data();
+      const size_t num_blocks = captured.blocks().size();
+      for (size_t j = 0; j < dy; ++j) {
+        moments[j] = kernels::MaskedMomentsAnd((*columns_)[j].data(), blocks,
+                                               blocks, num_blocks);
+      }
+      scores[i] = si::ListGainFromMoments(moments.data(), dy, *default_,
+                                          batch.ids[i].size(), params_);
+    }
+  }
+
+ private:
+  const std::vector<std::vector<double>>* columns_;
+  const pattern::Extension* uncovered_;
+  const si::LocalNormalModel* default_;
+  si::ListGainParams params_;
+  size_t min_captured_;
+};
+
+ListMineStats ExtendImpl(const data::DataTable& table,
+                         const linalg::Matrix& targets,
+                         const ConditionPool& pool,
+                         const ListSearchConfig& config, SubgroupList* list,
+                         ThreadPool* shared_workers, bool naive) {
+  SISD_CHECK(list != nullptr);
+  ListMineStats stats;
+  const std::vector<std::vector<double>> columns = CopyTargetColumns(targets);
+  const size_t dy = columns.size();
+  const size_t min_captured = std::max<size_t>(1, config.min_captured);
+  const size_t max_rules = size_t(std::max(1, config.max_rules));
+
+  while (stats.rules_appended < max_rules) {
+    if (list->uncovered.count() < min_captured) {
+      stats.exhausted = true;
+      break;
+    }
+    SearchResult result;
+    if (naive) {
+      NaiveListGainEvaluator evaluator(columns, list->uncovered,
+                                       list->default_model, config.gain,
+                                       min_captured);
+      result = BeamSearch(table, pool, config.search, evaluator);
+    } else {
+      ListGainEvaluator evaluator(columns, list->uncovered,
+                                  list->default_model, config.gain,
+                                  min_captured);
+      result =
+          BeamSearch(table, pool, config.search, evaluator, shared_workers);
+    }
+    stats.num_evaluated += result.num_evaluated;
+    stats.hit_time_budget = stats.hit_time_budget || result.hit_time_budget;
+    // Stop when nothing compresses: a rule with gain <= 0 would make the
+    // encoding longer, so the greedy list is complete.
+    if (result.top.empty() || !(result.best().quality > 0.0)) {
+      stats.exhausted = true;
+      break;
+    }
+
+    const ScoredSubgroup& best = result.best();
+    SubgroupRule rule;
+    rule.intention = best.intention;
+    rule.extension = best.extension;
+    rule.captured =
+        pattern::Extension::Intersect(best.extension, list->uncovered);
+    std::vector<kernels::MaskedMoments> moments(dy);
+    const uint64_t* blocks = rule.captured.blocks().data();
+    const size_t num_blocks = rule.captured.blocks().size();
+    for (size_t j = 0; j < dy; ++j) {
+      moments[j] = kernels::MaskedMomentsAnd(columns[j].data(), blocks,
+                                             blocks, num_blocks);
+    }
+    si::FitLocalNormalModel(moments.data(), dy, config.gain.variance_floor,
+                            &rule.local);
+    rule.gain = best.quality;
+    ReplaySubgroupRule(std::move(rule), list);
+    ++stats.rules_appended;
+  }
+  return stats;
+}
+
+}  // namespace
+
+SubgroupList MakeEmptySubgroupList(const linalg::Matrix& targets,
+                                   const si::ListGainParams& gain) {
+  SubgroupList list;
+  const size_t n = targets.rows();
+  const size_t dy = targets.cols();
+  list.uncovered = pattern::Extension(n, /*full=*/true);
+  if (n == 0 || dy == 0) {
+    list.default_model.mean = linalg::Vector(dy);
+    list.default_model.variance = linalg::Vector(dy, gain.variance_floor);
+    return list;
+  }
+  const std::vector<std::vector<double>> columns = CopyTargetColumns(targets);
+  std::vector<kernels::MaskedMoments> moments(dy);
+  const uint64_t* blocks = list.uncovered.blocks().data();
+  const size_t num_blocks = list.uncovered.blocks().size();
+  for (size_t j = 0; j < dy; ++j) {
+    moments[j] = kernels::MaskedMomentsAnd(columns[j].data(), blocks, blocks,
+                                           num_blocks);
+  }
+  si::FitLocalNormalModel(moments.data(), dy, gain.variance_floor,
+                          &list.default_model);
+  return list;
+}
+
+ListMineStats ExtendSubgroupList(const data::DataTable& table,
+                                 const linalg::Matrix& targets,
+                                 const ConditionPool& pool,
+                                 const ListSearchConfig& config,
+                                 SubgroupList* list,
+                                 ThreadPool* shared_workers) {
+  return ExtendImpl(table, targets, pool, config, list, shared_workers,
+                    /*naive=*/false);
+}
+
+ListMineStats ExtendSubgroupListReference(const data::DataTable& table,
+                                          const linalg::Matrix& targets,
+                                          const ConditionPool& pool,
+                                          const ListSearchConfig& config,
+                                          SubgroupList* list) {
+  return ExtendImpl(table, targets, pool, config, list, nullptr,
+                    /*naive=*/true);
+}
+
+void ReplaySubgroupRule(SubgroupRule rule, SubgroupList* list) {
+  SISD_CHECK(list != nullptr);
+  pattern::Extension keep = rule.extension;
+  keep.Complement();
+  list->uncovered.IntersectWith(keep);
+  list->total_gain += rule.gain;
+  list->rules.push_back(std::move(rule));
+}
+
+}  // namespace sisd::search

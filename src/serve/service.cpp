@@ -104,6 +104,12 @@ Status ApplyConfigOverrides(const JsonValue& json,
     } else if (key == "exclusions") {
       SISD_ASSIGN_OR_RETURN(v, value.GetBool());
       config->search.include_exclusions = v;
+    } else if (key == "list_alpha") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetDouble());
+      config->list_gain.alpha = v;
+    } else if (key == "list_beta") {
+      SISD_ASSIGN_OR_RETURN(v, value.GetDouble());
+      config->list_gain.beta = v;
     } else {
       return Status::InvalidArgument("unknown config key '" + key + "'");
     }
@@ -252,6 +258,54 @@ Result<JsonValue> DoMine(SessionManager& manager,
       outcome, manager.Mine(request.session, static_cast<int>(iterations),
                             if_generation));
   return EncodeMineOutcome(outcome);
+}
+
+JsonValue EncodeMineListOutcome(const MineListOutcome& outcome) {
+  JsonValue result = JsonValue::Object();
+  result.Set("generation",
+             JsonValue::Int(static_cast<int64_t>(outcome.generation)));
+  JsonValue rules = JsonValue::Array();
+  for (const RuleSummary& rule : outcome.rules) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("rule", JsonValue::Int(static_cast<int64_t>(rule.index)));
+    entry.Set("description", JsonValue::Str(rule.description));
+    entry.Set("gain", JsonValue::Double(rule.gain));
+    entry.Set("coverage", JsonValue::Int(static_cast<int64_t>(rule.coverage)));
+    entry.Set("captured", JsonValue::Int(static_cast<int64_t>(rule.captured)));
+    rules.Append(std::move(entry));
+  }
+  result.Set("rules", std::move(rules));
+  result.Set("total_gain", JsonValue::Double(outcome.total_gain));
+  result.Set("list_size",
+             JsonValue::Int(static_cast<int64_t>(outcome.list_size)));
+  result.Set("uncovered",
+             JsonValue::Int(static_cast<int64_t>(outcome.uncovered)));
+  result.Set("candidates",
+             JsonValue::Int(static_cast<int64_t>(outcome.candidates)));
+  if (outcome.exhausted) result.Set("exhausted", JsonValue::Bool(true));
+  if (outcome.hit_time_budget) {
+    result.Set("hit_time_budget", JsonValue::Bool(true));
+  }
+  return result;
+}
+
+Result<JsonValue> DoMineList(SessionManager& manager,
+                             const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(rules_raw, ParamInt(request, "rules"));
+  const int64_t rules = rules_raw.value_or(1);
+  constexpr int64_t kMaxRulesPerRequest = 10000;
+  if (rules < 1 || rules > kMaxRulesPerRequest) {
+    return Status::InvalidArgument(
+        StrFormat("'rules' must be in 1..%lld, got %lld",
+                  static_cast<long long>(kMaxRulesPerRequest),
+                  static_cast<long long>(rules)));
+  }
+  SISD_ASSIGN_OR_RETURN(if_generation, ParamGeneration(request));
+  SISD_ASSIGN_OR_RETURN(
+      outcome, manager.MineList(request.session, static_cast<int>(rules),
+                                if_generation));
+  return EncodeMineListOutcome(outcome);
 }
 
 Result<JsonValue> DoAssimilate(SessionManager& manager,
@@ -557,6 +611,7 @@ ProtocolResponse HandleRequest(SessionManager& manager,
   Result<JsonValue> result = [&]() -> Result<JsonValue> {
     if (request.verb == "open") return DoOpen(manager, request);
     if (request.verb == "mine") return DoMine(manager, request);
+    if (request.verb == "mine_list") return DoMineList(manager, request);
     if (request.verb == "assimilate") return DoAssimilate(manager, request);
     if (request.verb == "history") return DoHistory(manager, request);
     if (request.verb == "export") return DoExport(manager, request);
@@ -574,8 +629,8 @@ ProtocolResponse HandleRequest(SessionManager& manager,
     }
     return Status::InvalidArgument(
         "unknown verb '" + request.verb +
-        "' (expected open|mine|assimilate|history|export|save|evict|close|"
-        "stats|metrics|dataset_load|dataset_list|dataset_drop)");
+        "' (expected open|mine|mine_list|assimilate|history|export|save|"
+        "evict|close|stats|metrics|dataset_load|dataset_list|dataset_drop)");
   }();
   if (!result.ok()) {
     return serialize::MakeErrorResponse(request, result.status());

@@ -389,6 +389,45 @@ Result<MineOutcome> SessionManager::Mine(
   return outcome;
 }
 
+Result<MineListOutcome> SessionManager::MineList(
+    const std::string& name, int rules,
+    std::optional<uint64_t> if_generation) {
+  if (rules < 1) {
+    return Status::InvalidArgument("mine_list needs rules >= 1");
+  }
+  SISD_ASSIGN_OR_RETURN(locked, Lock(name));
+  SISD_RETURN_NOT_OK(CheckGeneration(locked.entry->generation,
+                                     if_generation));
+  core::MiningSession& session = locked.session();
+  SISD_ASSIGN_OR_RETURN(result, session.MineList(rules));
+  locked.entry->generation += result.rules.size();
+  const search::SubgroupList* list = session.subgroup_list();
+  SISD_CHECK(list != nullptr);  // MineList materializes the list
+  MineListOutcome outcome;
+  outcome.generation = locked.entry->generation;
+  outcome.total_gain = list->total_gain;
+  outcome.list_size = list->rules.size();
+  outcome.uncovered = list->uncovered.count();
+  outcome.candidates = result.candidates_evaluated;
+  outcome.exhausted = result.exhausted;
+  outcome.hit_time_budget = result.hit_time_budget;
+  const size_t first = list->rules.size() - result.rules.size();
+  for (size_t i = 0; i < result.rules.size(); ++i) {
+    const search::SubgroupRule& rule = result.rules[i];
+    RuleSummary summary;
+    summary.index = first + i + 1;
+    summary.description =
+        rule.intention.ToString(session.dataset().descriptions);
+    summary.gain = rule.gain;
+    summary.coverage = rule.extension.count();
+    summary.captured = rule.captured.count();
+    outcome.rules.push_back(std::move(summary));
+  }
+  locked.lock.unlock();
+  MaybeEvict();
+  return outcome;
+}
+
 Result<MineOutcome> SessionManager::Assimilate(
     const std::string& name, const IntentionBuilder& builder,
     std::optional<uint64_t> if_generation) {

@@ -113,6 +113,29 @@ struct MineOutcome {
   std::string stopped;
 };
 
+/// \brief One appended subgroup-list rule rendered for transport.
+struct RuleSummary {
+  size_t index = 0;         ///< 1-based position in the subgroup list
+  std::string description;  ///< rule intention over attribute names
+  double gain = 0.0;        ///< normalized MDL gain at append time
+  size_t coverage = 0;      ///< rows matching the rule anywhere
+  size_t captured = 0;      ///< rows the rule actually captures (first match)
+};
+
+/// \brief Result of a `MineList` call.
+struct MineListOutcome {
+  uint64_t generation = 0;
+  std::vector<RuleSummary> rules;  ///< rules appended by this call
+  double total_gain = 0.0;         ///< list-level gain after the call
+  size_t list_size = 0;            ///< rules in the list after the call
+  size_t uncovered = 0;            ///< rows still on the default rule
+  size_t candidates = 0;           ///< search evaluations this call
+  /// True when the miner ran out of positive-gain candidates before the
+  /// requested rule count (rules appended until then are kept).
+  bool exhausted = false;
+  bool hit_time_budget = false;
+};
+
 /// \brief Result of a `Save` call.
 struct SaveOutcome {
   std::string path;
@@ -177,6 +200,14 @@ class SessionManager {
   /// iteration is success with `exhausted = true`.
   Result<MineOutcome> Mine(const std::string& name, int iterations,
                            std::optional<uint64_t> if_generation);
+
+  /// Greedily appends up to `rules` rules to the session's subgroup list
+  /// (SSD++-style MDL mining; the list is created on first call). Same
+  /// `if_generation` contract as `Mine`; the generation bumps once per
+  /// appended rule. Running dry before `rules` is success with
+  /// `exhausted = true`.
+  Result<MineListOutcome> MineList(const std::string& name, int rules,
+                                   std::optional<uint64_t> if_generation);
 
   /// Assimilates the intention produced by `builder` (no search).
   Result<MineOutcome> Assimilate(const std::string& name,

@@ -122,13 +122,70 @@ TEST_F(CliSmokeTest, UnknownSubcommandPrintsUsageToStderr) {
   EXPECT_NE(ReadFile(err_path).find("USAGE"), std::string::npos);
 }
 
+TEST_F(CliSmokeTest, ListMinesAndResumesByteIdentically) {
+  // list -> list --session continues the snapshot. The unbroken reference
+  // runs the same two list rounds in one process through the serve
+  // protocol (list_history records one entry per call, so the reference
+  // must use the same call granularity), which also pins CLI list mining
+  // and the mine_list verb to identical snapshot bytes.
+  ASSERT_EQ(RunCli("list --scenario synthetic --rules 2" +
+                   std::string(kFastFlags) + " --session-save " +
+                   Path("list_two.json")),
+            0);
+  ASSERT_EQ(RunCli("list --session " + Path("list_two.json") +
+                   " --rules 1 --session-save " + Path("list_grown.json")),
+            0);
+  {
+    std::ofstream script(Path("list_serve.jsonl"));
+    script << R"({"id":1,"verb":"open","session":"s","scenario":)"
+           << R"("synthetic","config":{"beam_width":8,"max_depth":2,)"
+           << R"("top_k":20,"min_coverage":5}})" << "\n"
+           << R"({"id":2,"verb":"mine_list","session":"s","rules":2})"
+           << "\n"
+           << R"({"id":3,"verb":"mine_list","session":"s","rules":1})"
+           << "\n"
+           << R"({"id":4,"verb":"save","session":"s","path":")"
+           << Path("list_unbroken.json") << R"("})" << "\n";
+  }
+  ASSERT_EQ(RunCli("serve --script " + Path("list_serve.jsonl")), 0);
+  const std::string grown = ReadFile(Path("list_grown.json"));
+  ASSERT_FALSE(grown.empty());
+  EXPECT_EQ(grown, ReadFile(Path("list_unbroken.json")))
+      << "resumed list mining diverged from the unbroken run";
+  EXPECT_NE(grown.find("\"list_history\""), std::string::npos)
+      << "snapshot carries no list history";
+}
+
+TEST_F(CliSmokeTest, UnknownFlagAfterSubcommandPrintsUsageToStderr) {
+  // Regression: an unknown flag after a valid subcommand used to be
+  // swallowed as a key-value pair and silently ignored.
+  const std::string err_path = Path("unknown_flag_stderr.txt");
+  const std::string command =
+      std::string(SISD_CLI_BIN) +
+      " mine --scenario synthetic --bogus 1 > /dev/null 2> " + err_path;
+  const int rc = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2);
+  const std::string err = ReadFile(err_path);
+  EXPECT_NE(err.find("unknown flag --bogus for subcommand 'mine'"),
+            std::string::npos)
+      << "stderr: " << err;
+  EXPECT_NE(err.find("USAGE"), std::string::npos)
+      << "usage text missing from stderr on unknown flag";
+  // A flag valid for one subcommand is still rejected on another.
+  EXPECT_EQ(RunCli("export --session x.json --rules 2"), 2);
+  EXPECT_EQ(RunCli("list --scenario synthetic --compare-beam"), 2);
+}
+
 TEST_F(CliSmokeTest, ServeSubcommandAnswersProtocolScript) {
   {
     std::ofstream script(Path("serve.jsonl"));
     script << R"({"id":1,"verb":"open","session":"s","scenario":"synthetic",)"
            << R"("config":{"beam_width":8,"max_depth":2,"top_k":20,)"
            << R"("min_coverage":5}})" << "\n"
-           << R"({"id":2,"verb":"mine","session":"s"})" << "\n";
+           << R"({"id":2,"verb":"mine","session":"s"})" << "\n"
+           << R"({"id":3,"verb":"mine_list","session":"s","rules":1})"
+           << "\n";
   }
   const std::string command = std::string(SISD_CLI_BIN) +
                               " serve --script " + Path("serve.jsonl") +
@@ -140,6 +197,8 @@ TEST_F(CliSmokeTest, ServeSubcommandAnswersProtocolScript) {
   EXPECT_NE(out.find("\"id\":1"), std::string::npos);
   EXPECT_NE(out.find("\"ok\":true"), std::string::npos);
   EXPECT_NE(out.find("\"iteration\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"total_gain\""), std::string::npos)
+      << "mine_list response missing from serve output";
 }
 
 TEST_F(CliSmokeTest, MisuseFailsLoudly) {

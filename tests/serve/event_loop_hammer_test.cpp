@@ -143,7 +143,8 @@ TEST(EventLoopHammerTest, ConcurrentAnalystsWithBackpressure) {
         return;
       }
       const std::string session = "h" + std::to_string(c);
-      // Awaited open; then rounds of pipelined mine+metrics+history.
+      // Awaited open; then rounds of pipelined
+      // mine+mine_list+metrics+history.
       if (!WriteAll(fd, "{\"id\":1,\"verb\":\"open\",\"session\":\"" +
                             session +
                             "\",\"scenario\":\"synthetic\","
@@ -162,6 +163,9 @@ TEST(EventLoopHammerTest, ConcurrentAnalystsWithBackpressure) {
           burst += "{\"id\":" + std::to_string(next_id++) +
                    ",\"verb\":\"mine\",\"session\":\"" + session + "\"}\n";
         }
+        burst += "{\"id\":" + std::to_string(next_id++) +
+                 ",\"verb\":\"mine_list\",\"session\":\"" + session +
+                 "\",\"rules\":1}\n";
         burst += "{\"id\":" + std::to_string(next_id++) +
                  ",\"verb\":\"metrics\"}\n";
         burst += "{\"id\":" + std::to_string(next_id++) +

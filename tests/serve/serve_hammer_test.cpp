@@ -38,7 +38,7 @@ TEST(ServeHammerTest, InterleavedVerbsStayRaceFreeAndTyped) {
   SessionManager manager(config);
 
   constexpr int kThreads = 4;
-  constexpr int kOpsPerThread = 12;
+  constexpr int kOpsPerThread = 14;  // two full cycles of the op schedule
   std::atomic<int> hard_failures{0};
 
   auto worker = [&](int worker_id) {
@@ -56,7 +56,7 @@ TEST(ServeHammerTest, InterleavedVerbsStayRaceFreeAndTyped) {
       // locks interleave across threads (not just across names).
       const std::string other =
           "worker-" + std::to_string((worker_id + 1) % kThreads);
-      switch (op % 6) {
+      switch (op % 7) {
         case 0:
         case 1: {
           Result<MineOutcome> mined =
@@ -99,6 +99,14 @@ TEST(ServeHammerTest, InterleavedVerbsStayRaceFreeAndTyped) {
           }
           break;
         }
+        case 6: {
+          // Subgroup-list round on the own session: exhaustion is a
+          // success with zero rules, so any error is a bug.
+          Result<MineListOutcome> listed =
+              manager.MineList(mine_name, 1, std::nullopt);
+          if (!listed.ok()) hard_failures.fetch_add(1);
+          break;
+        }
       }
       (void)manager.Stats();
     }
@@ -116,10 +124,11 @@ TEST(ServeHammerTest, InterleavedVerbsStayRaceFreeAndTyped) {
   EXPECT_EQ(stats.opens, uint64_t(kThreads));
   EXPECT_EQ(manager.SessionNames().size(), size_t(kThreads));
 
-  // After the storm every session still mines deterministically: two
-  // sessions with identical histories must produce identical snapshots
-  // only if their interleavings matched, but each individual session must
-  // agree with a fresh direct replay of its own history length.
+  // After the storm every session still mines deterministically: the ops
+  // each worker ran on its own session form a fixed schedule (mine on
+  // op%7 in {0,1}, a list round on op%7 == 6; neighbour pokes never
+  // mutate), so a fresh session replaying that schedule must produce a
+  // byte-identical snapshot — iterative history, subgroup list and all.
   for (int t = 0; t < kThreads; ++t) {
     const std::string name = "worker-" + std::to_string(t);
     Result<core::MiningSession> clone = manager.CloneSession(name);
@@ -127,9 +136,17 @@ TEST(ServeHammerTest, InterleavedVerbsStayRaceFreeAndTyped) {
     Result<core::MiningSession> replay = core::MiningSession::Create(
         datagen::MakeScenarioDataset("synthetic").Value(), TinyConfig());
     ASSERT_TRUE(replay.ok());
-    const size_t iterations = clone.Value().history().size();
-    for (size_t i = 0; i < iterations; ++i) {
-      ASSERT_TRUE(replay.Value().MineNext().ok());
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      const int kind = op % 7;
+      if (kind == 0 || kind == 1) {
+        Result<core::IterationResult> mined = replay.Value().MineNext();
+        if (!mined.ok()) {
+          ASSERT_EQ(mined.status().code(), StatusCode::kNotFound)
+              << mined.status().ToString();
+        }
+      } else if (kind == 6) {
+        ASSERT_TRUE(replay.Value().MineList(1).ok());
+      }
     }
     EXPECT_EQ(clone.Value().SaveToString(), replay.Value().SaveToString())
         << "session " << name << " diverged from a deterministic replay";

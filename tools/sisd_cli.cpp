@@ -15,6 +15,11 @@
 //   optimal mine the provably-optimal location pattern with the parallel
 //           branch-and-bound (search/optimal_search.hpp), optionally
 //           measuring beam search's optimality gap (--compare-beam).
+//   list    greedily mine an ordered subgroup list (SSD++-style MDL
+//           miner, search/list_miner.hpp): each appended rule captures the
+//           rows it matches first and routes them to its own local normal
+//           model; everything else stays on the dataset-marginal default
+//           rule. Resumable through the same snapshot format as mine.
 //
 // Every datagen scenario and arbitrary user data are drivable end to end:
 //   sisd_cli mine --scenario crime --iterations 3 --session-save s.json
@@ -23,6 +28,7 @@
 //   sisd_cli export --session s.json --history history.csv
 //   sisd_cli serve --script requests.jsonl
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -62,6 +68,9 @@ USAGE
                    [--max-depth N] [--min-coverage N] [--splits N]
                    [--threads N] [--time-budget S] [--gamma X] [--eta X]
                    [--no-bound] [--compare-beam]
+  sisd_cli list (--csv FILE --targets A[,B...] | --scenario NAME |
+                 --session FILE) [--rules N] [--list-alpha X]
+                [--list-beta X] [--session-save OUT] [search options]
 
 MINE INPUT
   --csv FILE            CSV file with a header row (types are inferred)
@@ -89,6 +98,16 @@ MINE OPTIONS (defaults = the paper's Cortana settings)
   --optimal             mine each iteration's location pattern with the
                         provably-optimal branch-and-bound instead of beam
                         search (keep --max-depth small, e.g. 2)
+
+LIST
+  Greedy MDL subgroup-list mining: up to --rules rules (default 3) are
+  appended in order of normalized compression gain; each rule owns the
+  rows it captures first (a local normal model per target), the default
+  rule keeps the rest. --list-alpha / --list-beta weigh the per-condition
+  and per-rule model cost (defaults 0.5 / 1). With --session FILE the
+  list continues from the snapshot (byte-identical to never stopping);
+  --session-save writes the grown session back. Search options
+  (--beam-width, --max-depth, ...) shape the per-rule candidate search.
 
 OPTIMAL
   One-shot provably-optimal location search (no session, no spread step):
@@ -162,6 +181,54 @@ Result<Args> ParseArgs(int argc, char** argv) {
   return args;
 }
 
+/// Flags each subcommand accepts. A flag not on its subcommand's list is
+/// a usage error (exit 2), not a silently ignored key-value pair.
+Status ValidateFlags(const Args& args) {
+  static const std::vector<std::string> kCommon = {"--help", "-h"};
+  static const std::vector<std::string> kSearch = {
+      "--beam-width", "--max-depth",    "--splits",  "--top-k",
+      "--min-coverage", "--exclusions", "--time-budget", "--threads",
+      "--gamma", "--eta"};
+  static const std::vector<std::string> kInput = {"--csv", "--targets",
+                                                  "--scenario"};
+  std::vector<std::string> allowed = kCommon;
+  auto add = [&allowed](const std::vector<std::string>& flags) {
+    allowed.insert(allowed.end(), flags.begin(), flags.end());
+  };
+  if (args.command == "mine") {
+    add(kInput);
+    add(kSearch);
+    add({"--iterations", "--session-save", "--location-only",
+         "--spread-sparsity", "--optimal", "--list-alpha", "--list-beta"});
+  } else if (args.command == "resume") {
+    add({"--session", "--iterations", "--session-save"});
+  } else if (args.command == "export") {
+    add({"--session", "--history", "--ranked", "--iteration", "--json"});
+  } else if (args.command == "serve") {
+    add({"--script", "--max-resident", "--spill-dir", "--threads",
+         "--catalog-bytes", "--preload"});
+  } else if (args.command == "optimal") {
+    add(kInput);
+    add(kSearch);
+    add({"--no-bound", "--compare-beam"});
+  } else if (args.command == "list") {
+    add(kInput);
+    add(kSearch);
+    add({"--session", "--rules", "--list-alpha", "--list-beta",
+         "--session-save", "--location-only", "--spread-sparsity"});
+  } else {
+    return Status::OK();  // unknown subcommands are reported separately
+  }
+  for (const auto& [flag, value] : args.flags) {
+    if (std::find(allowed.begin(), allowed.end(), flag) == allowed.end()) {
+      return Status::InvalidArgument("unknown flag " + flag +
+                                     " for subcommand '" + args.command +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
 Result<long long> FlagInt(const Args& args, const std::string& name,
                           long long fallback) {
   const std::string* raw = args.Find(name);
@@ -218,6 +285,14 @@ Result<core::MinerConfig> ConfigFromArgs(const Args& args) {
   SISD_ASSIGN_OR_RETURN(sparsity, FlagInt(args, "--spread-sparsity",
                                           config.spread_sparsity));
   config.spread_sparsity = int(sparsity);
+  SISD_ASSIGN_OR_RETURN(list_alpha,
+                        FlagDouble(args, "--list-alpha",
+                                   config.list_gain.alpha));
+  config.list_gain.alpha = list_alpha;
+  SISD_ASSIGN_OR_RETURN(list_beta,
+                        FlagDouble(args, "--list-beta",
+                                   config.list_gain.beta));
+  config.list_gain.beta = list_beta;
   if (args.Find("--location-only") != nullptr) {
     config.mix = core::PatternMix::kLocationOnly;
   }
@@ -456,6 +531,68 @@ Status RunOptimal(const Args& args) {
   return Status::OK();
 }
 
+Status RunList(const Args& args) {
+  SISD_ASSIGN_OR_RETURN(rules, FlagInt(args, "--rules", 3));
+  if (rules < 1) {
+    return Status::InvalidArgument("--rules must be >= 1");
+  }
+  const std::string* snapshot = args.Find("--session");
+  std::optional<core::MiningSession> session;
+  if (snapshot != nullptr) {
+    if (args.Find("--csv") != nullptr || args.Find("--scenario") != nullptr) {
+      return Status::InvalidArgument(
+          "list takes either --session or a dataset source, not both");
+    }
+    SISD_ASSIGN_OR_RETURN(restored, core::MiningSession::Restore(*snapshot));
+    session.emplace(std::move(restored));
+    std::printf("restored session over '%s': %zu rules in the list\n",
+                session->dataset().name.c_str(),
+                session->subgroup_list() != nullptr
+                    ? session->subgroup_list()->rules.size()
+                    : size_t{0});
+  } else {
+    SISD_ASSIGN_OR_RETURN(dataset, LoadDataset(args));
+    SISD_ASSIGN_OR_RETURN(config, ConfigFromArgs(args));
+    std::printf("dataset '%s': %zu rows, %zu descriptions, %zu targets\n",
+                dataset.name.c_str(), dataset.num_rows(),
+                dataset.num_descriptions(), dataset.num_targets());
+    SISD_ASSIGN_OR_RETURN(
+        created, core::MiningSession::Create(std::move(dataset), config));
+    session.emplace(std::move(created));
+  }
+
+  const size_t before = session->subgroup_list() != nullptr
+                            ? session->subgroup_list()->rules.size()
+                            : size_t{0};
+  SISD_ASSIGN_OR_RETURN(result, session->MineList(int(rules)));
+  const search::SubgroupList* list = session->subgroup_list();
+  for (size_t i = 0; i < result.rules.size(); ++i) {
+    const search::SubgroupRule& rule = result.rules[i];
+    std::printf("rule %zu: %s (gain=%.6f, captured=%zu, coverage=%zu)\n",
+                before + i + 1,
+                rule.intention.ToString(
+                    session->dataset().descriptions).c_str(),
+                rule.gain, rule.captured.count(), rule.extension.count());
+  }
+  if (result.exhausted) {
+    std::printf("list exhausted: no further positive-gain rule (%zu "
+                "appended this run)\n",
+                result.rules.size());
+  }
+  std::printf("list: %zu rules, total gain %.6f nats, %zu rows on the "
+              "default rule (%zu candidates evaluated%s)\n",
+              list != nullptr ? list->rules.size() : size_t{0},
+              list != nullptr ? list->total_gain : 0.0,
+              list != nullptr ? list->uncovered.count() : size_t{0},
+              result.candidates_evaluated,
+              result.hit_time_budget ? ", hit time budget" : "");
+  if (const std::string* path = args.Find("--session-save")) {
+    SISD_RETURN_NOT_OK(session->Save(*path));
+    std::printf("session saved to %s\n", path->c_str());
+  }
+  return Status::OK();
+}
+
 Status RunServe(const Args& args) {
   serve::ServeConfig config;
   SISD_ASSIGN_OR_RETURN(
@@ -521,6 +658,10 @@ int Main(int argc, char** argv) {
     std::printf("%s", kUsage);
     return 0;
   }
+  if (Status valid = ValidateFlags(args.Value()); !valid.ok()) {
+    std::fprintf(stderr, "error: %s\n\n%s", valid.message().c_str(), kUsage);
+    return 2;
+  }
   Status status;
   if (args.Value().command == "mine") {
     status = RunMine(args.Value());
@@ -532,6 +673,8 @@ int Main(int argc, char** argv) {
     status = RunServe(args.Value());
   } else if (args.Value().command == "optimal") {
     status = RunOptimal(args.Value());
+  } else if (args.Value().command == "list") {
+    status = RunList(args.Value());
   } else {
     std::fprintf(stderr, "error: unknown subcommand '%s'\n\n%s",
                  args.Value().command.c_str(), kUsage);
