@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gamma.dir/bench_ablation_gamma.cpp.o"
+  "CMakeFiles/bench_ablation_gamma.dir/bench_ablation_gamma.cpp.o.d"
+  "bench_ablation_gamma"
+  "bench_ablation_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

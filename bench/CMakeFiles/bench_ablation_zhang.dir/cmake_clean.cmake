@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zhang.dir/bench_ablation_zhang.cpp.o"
+  "CMakeFiles/bench_ablation_zhang.dir/bench_ablation_zhang.cpp.o.d"
+  "bench_ablation_zhang"
+  "bench_ablation_zhang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zhang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_catalog_storm.dir/bench_catalog_storm.cpp.o"
+  "CMakeFiles/bench_catalog_storm.dir/bench_catalog_storm.cpp.o.d"
+  "bench_catalog_storm"
+  "bench_catalog_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_catalog_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bernoulli_mammals.dir/bench_ext_bernoulli_mammals.cpp.o"
+  "CMakeFiles/bench_ext_bernoulli_mammals.dir/bench_ext_bernoulli_mammals.cpp.o.d"
+  "bench_ext_bernoulli_mammals"
+  "bench_ext_bernoulli_mammals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bernoulli_mammals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

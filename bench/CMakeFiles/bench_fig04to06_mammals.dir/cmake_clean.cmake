@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04to06_mammals.dir/bench_fig04to06_mammals.cpp.o"
+  "CMakeFiles/bench_fig04to06_mammals.dir/bench_fig04to06_mammals.cpp.o.d"
+  "bench_fig04to06_mammals"
+  "bench_fig04to06_mammals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04to06_mammals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04to06_mammals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07to08_socioeconomics.dir/bench_fig07to08_socioeconomics.cpp.o"
+  "CMakeFiles/bench_fig07to08_socioeconomics.dir/bench_fig07to08_socioeconomics.cpp.o.d"
+  "bench_fig07to08_socioeconomics"
+  "bench_fig07to08_socioeconomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07to08_socioeconomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07to08_socioeconomics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_search.dir/bench_micro_search.cpp.o"
+  "CMakeFiles/bench_micro_search.dir/bench_micro_search.cpp.o.d"
+  "bench_micro_search"
+  "bench_micro_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

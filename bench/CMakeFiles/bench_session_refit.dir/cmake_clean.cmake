@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session_refit.dir/bench_session_refit.cpp.o"
+  "CMakeFiles/bench_session_refit.dir/bench_session_refit.cpp.o.d"
+  "bench_session_refit"
+  "bench_session_refit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session_refit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

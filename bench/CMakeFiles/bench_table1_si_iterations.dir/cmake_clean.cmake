@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_si_iterations.dir/bench_table1_si_iterations.cpp.o"
+  "CMakeFiles/bench_table1_si_iterations.dir/bench_table1_si_iterations.cpp.o.d"
+  "bench_table1_si_iterations"
+  "bench_table1_si_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_si_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_benchlib.dir/harness/microbench.cpp.o"
+  "CMakeFiles/sisd_benchlib.dir/harness/microbench.cpp.o.d"
+  "libsisd_benchlib.a"
+  "libsisd_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

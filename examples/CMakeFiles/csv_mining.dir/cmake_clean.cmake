@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_mining.dir/csv_mining.cpp.o"
+  "CMakeFiles/csv_mining.dir/csv_mining.cpp.o.d"
+  "csv_mining"
+  "csv_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

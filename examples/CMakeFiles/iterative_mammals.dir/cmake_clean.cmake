@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_mammals.dir/iterative_mammals.cpp.o"
+  "CMakeFiles/iterative_mammals.dir/iterative_mammals.cpp.o.d"
+  "iterative_mammals"
+  "iterative_mammals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_mammals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socioeconomics_case_study.dir/socioeconomics_case_study.cpp.o"
+  "CMakeFiles/socioeconomics_case_study.dir/socioeconomics_case_study.cpp.o.d"
+  "socioeconomics_case_study"
+  "socioeconomics_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socioeconomics_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_quality_case_study.dir/water_quality_case_study.cpp.o"
+  "CMakeFiles/water_quality_case_study.dir/water_quality_case_study.cpp.o.d"
+  "water_quality_case_study"
+  "water_quality_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_quality_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

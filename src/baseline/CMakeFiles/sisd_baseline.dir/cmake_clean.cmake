@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_baseline.dir/quality_measures.cpp.o"
+  "CMakeFiles/sisd_baseline.dir/quality_measures.cpp.o.d"
+  "libsisd_baseline.a"
+  "libsisd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/artifact_cache.cpp" "src/catalog/CMakeFiles/sisd_catalog.dir/artifact_cache.cpp.o" "gcc" "src/catalog/CMakeFiles/sisd_catalog.dir/artifact_cache.cpp.o.d"
+  "/root/repo/src/catalog/dataset_catalog.cpp" "src/catalog/CMakeFiles/sisd_catalog.dir/dataset_catalog.cpp.o" "gcc" "src/catalog/CMakeFiles/sisd_catalog.dir/dataset_catalog.cpp.o.d"
+  "/root/repo/src/catalog/fingerprint.cpp" "src/catalog/CMakeFiles/sisd_catalog.dir/fingerprint.cpp.o" "gcc" "src/catalog/CMakeFiles/sisd_catalog.dir/fingerprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/sisd_common.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/sisd_data.dir/DependInfo.cmake"
+  "/root/repo/src/search/CMakeFiles/sisd_search.dir/DependInfo.cmake"
+  "/root/repo/src/serialize/CMakeFiles/sisd_serialize.dir/DependInfo.cmake"
+  "/root/repo/src/si/CMakeFiles/sisd_si.dir/DependInfo.cmake"
+  "/root/repo/src/model/CMakeFiles/sisd_model.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/sisd_stats.dir/DependInfo.cmake"
+  "/root/repo/src/pattern/CMakeFiles/sisd_pattern.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/sisd_linalg.dir/DependInfo.cmake"
+  "/root/repo/src/kernels/CMakeFiles/sisd_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

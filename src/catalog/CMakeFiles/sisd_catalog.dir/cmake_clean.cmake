@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_catalog.dir/artifact_cache.cpp.o"
+  "CMakeFiles/sisd_catalog.dir/artifact_cache.cpp.o.d"
+  "CMakeFiles/sisd_catalog.dir/dataset_catalog.cpp.o"
+  "CMakeFiles/sisd_catalog.dir/dataset_catalog.cpp.o.d"
+  "CMakeFiles/sisd_catalog.dir/fingerprint.cpp.o"
+  "CMakeFiles/sisd_catalog.dir/fingerprint.cpp.o.d"
+  "libsisd_catalog.a"
+  "libsisd_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

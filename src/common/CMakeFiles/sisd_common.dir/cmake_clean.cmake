@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_common.dir/status.cpp.o"
+  "CMakeFiles/sisd_common.dir/status.cpp.o.d"
+  "CMakeFiles/sisd_common.dir/strings.cpp.o"
+  "CMakeFiles/sisd_common.dir/strings.cpp.o.d"
+  "libsisd_common.a"
+  "libsisd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_core.dir/export.cpp.o"
+  "CMakeFiles/sisd_core.dir/export.cpp.o.d"
+  "CMakeFiles/sisd_core.dir/miner.cpp.o"
+  "CMakeFiles/sisd_core.dir/miner.cpp.o.d"
+  "CMakeFiles/sisd_core.dir/session.cpp.o"
+  "CMakeFiles/sisd_core.dir/session.cpp.o.d"
+  "CMakeFiles/sisd_core.dir/session_io.cpp.o"
+  "CMakeFiles/sisd_core.dir/session_io.cpp.o.d"
+  "libsisd_core.a"
+  "libsisd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

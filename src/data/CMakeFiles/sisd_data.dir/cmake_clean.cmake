@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_data.dir/column.cpp.o"
+  "CMakeFiles/sisd_data.dir/column.cpp.o.d"
+  "CMakeFiles/sisd_data.dir/csv.cpp.o"
+  "CMakeFiles/sisd_data.dir/csv.cpp.o.d"
+  "CMakeFiles/sisd_data.dir/table.cpp.o"
+  "CMakeFiles/sisd_data.dir/table.cpp.o.d"
+  "libsisd_data.a"
+  "libsisd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

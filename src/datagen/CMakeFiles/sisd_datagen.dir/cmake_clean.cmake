@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_datagen.dir/crime.cpp.o"
+  "CMakeFiles/sisd_datagen.dir/crime.cpp.o.d"
+  "CMakeFiles/sisd_datagen.dir/gse.cpp.o"
+  "CMakeFiles/sisd_datagen.dir/gse.cpp.o.d"
+  "CMakeFiles/sisd_datagen.dir/mammals.cpp.o"
+  "CMakeFiles/sisd_datagen.dir/mammals.cpp.o.d"
+  "CMakeFiles/sisd_datagen.dir/scenarios.cpp.o"
+  "CMakeFiles/sisd_datagen.dir/scenarios.cpp.o.d"
+  "CMakeFiles/sisd_datagen.dir/synthetic.cpp.o"
+  "CMakeFiles/sisd_datagen.dir/synthetic.cpp.o.d"
+  "CMakeFiles/sisd_datagen.dir/water.cpp.o"
+  "CMakeFiles/sisd_datagen.dir/water.cpp.o.d"
+  "libsisd_datagen.a"
+  "libsisd_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/sisd_kernels.dir/kernels.cpp.o.d"
+  "CMakeFiles/sisd_kernels.dir/kernels_avx2.cpp.o"
+  "CMakeFiles/sisd_kernels.dir/kernels_avx2.cpp.o.d"
+  "CMakeFiles/sisd_kernels.dir/kernels_scalar.cpp.o"
+  "CMakeFiles/sisd_kernels.dir/kernels_scalar.cpp.o.d"
+  "libsisd_kernels.a"
+  "libsisd_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

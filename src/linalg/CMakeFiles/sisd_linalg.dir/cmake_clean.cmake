@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/sisd_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/sisd_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/sisd_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/sisd_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/sisd_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/sisd_linalg.dir/vector.cpp.o"
+  "CMakeFiles/sisd_linalg.dir/vector.cpp.o.d"
+  "libsisd_linalg.a"
+  "libsisd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

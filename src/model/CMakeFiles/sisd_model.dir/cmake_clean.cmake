@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_model.dir/assimilator.cpp.o"
+  "CMakeFiles/sisd_model.dir/assimilator.cpp.o.d"
+  "CMakeFiles/sisd_model.dir/background_model.cpp.o"
+  "CMakeFiles/sisd_model.dir/background_model.cpp.o.d"
+  "CMakeFiles/sisd_model.dir/bernoulli_model.cpp.o"
+  "CMakeFiles/sisd_model.dir/bernoulli_model.cpp.o.d"
+  "libsisd_model.a"
+  "libsisd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

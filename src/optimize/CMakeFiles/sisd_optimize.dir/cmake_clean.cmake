@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_optimize.dir/sphere_optimizer.cpp.o"
+  "CMakeFiles/sisd_optimize.dir/sphere_optimizer.cpp.o.d"
+  "CMakeFiles/sisd_optimize.dir/spread_objective.cpp.o"
+  "CMakeFiles/sisd_optimize.dir/spread_objective.cpp.o.d"
+  "libsisd_optimize.a"
+  "libsisd_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsisd_optimize.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/condition.cpp" "src/pattern/CMakeFiles/sisd_pattern.dir/condition.cpp.o" "gcc" "src/pattern/CMakeFiles/sisd_pattern.dir/condition.cpp.o.d"
+  "/root/repo/src/pattern/extension.cpp" "src/pattern/CMakeFiles/sisd_pattern.dir/extension.cpp.o" "gcc" "src/pattern/CMakeFiles/sisd_pattern.dir/extension.cpp.o.d"
+  "/root/repo/src/pattern/patterns.cpp" "src/pattern/CMakeFiles/sisd_pattern.dir/patterns.cpp.o" "gcc" "src/pattern/CMakeFiles/sisd_pattern.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/sisd_common.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/sisd_data.dir/DependInfo.cmake"
+  "/root/repo/src/kernels/CMakeFiles/sisd_kernels.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/sisd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_pattern.dir/condition.cpp.o"
+  "CMakeFiles/sisd_pattern.dir/condition.cpp.o.d"
+  "CMakeFiles/sisd_pattern.dir/extension.cpp.o"
+  "CMakeFiles/sisd_pattern.dir/extension.cpp.o.d"
+  "CMakeFiles/sisd_pattern.dir/patterns.cpp.o"
+  "CMakeFiles/sisd_pattern.dir/patterns.cpp.o.d"
+  "libsisd_pattern.a"
+  "libsisd_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_random.dir/rng.cpp.o"
+  "CMakeFiles/sisd_random.dir/rng.cpp.o.d"
+  "libsisd_random.a"
+  "libsisd_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/beam_search.cpp" "src/search/CMakeFiles/sisd_search.dir/beam_search.cpp.o" "gcc" "src/search/CMakeFiles/sisd_search.dir/beam_search.cpp.o.d"
+  "/root/repo/src/search/condition_pool.cpp" "src/search/CMakeFiles/sisd_search.dir/condition_pool.cpp.o" "gcc" "src/search/CMakeFiles/sisd_search.dir/condition_pool.cpp.o.d"
+  "/root/repo/src/search/exhaustive_search.cpp" "src/search/CMakeFiles/sisd_search.dir/exhaustive_search.cpp.o" "gcc" "src/search/CMakeFiles/sisd_search.dir/exhaustive_search.cpp.o.d"
+  "/root/repo/src/search/list_miner.cpp" "src/search/CMakeFiles/sisd_search.dir/list_miner.cpp.o" "gcc" "src/search/CMakeFiles/sisd_search.dir/list_miner.cpp.o.d"
+  "/root/repo/src/search/optimal_search.cpp" "src/search/CMakeFiles/sisd_search.dir/optimal_search.cpp.o" "gcc" "src/search/CMakeFiles/sisd_search.dir/optimal_search.cpp.o.d"
+  "/root/repo/src/search/si_evaluator.cpp" "src/search/CMakeFiles/sisd_search.dir/si_evaluator.cpp.o" "gcc" "src/search/CMakeFiles/sisd_search.dir/si_evaluator.cpp.o.d"
+  "/root/repo/src/search/thread_pool.cpp" "src/search/CMakeFiles/sisd_search.dir/thread_pool.cpp.o" "gcc" "src/search/CMakeFiles/sisd_search.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/data/CMakeFiles/sisd_data.dir/DependInfo.cmake"
+  "/root/repo/src/model/CMakeFiles/sisd_model.dir/DependInfo.cmake"
+  "/root/repo/src/pattern/CMakeFiles/sisd_pattern.dir/DependInfo.cmake"
+  "/root/repo/src/si/CMakeFiles/sisd_si.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/sisd_stats.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/sisd_linalg.dir/DependInfo.cmake"
+  "/root/repo/src/kernels/CMakeFiles/sisd_kernels.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/sisd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

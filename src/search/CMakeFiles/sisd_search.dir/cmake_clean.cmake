@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_search.dir/beam_search.cpp.o"
+  "CMakeFiles/sisd_search.dir/beam_search.cpp.o.d"
+  "CMakeFiles/sisd_search.dir/condition_pool.cpp.o"
+  "CMakeFiles/sisd_search.dir/condition_pool.cpp.o.d"
+  "CMakeFiles/sisd_search.dir/exhaustive_search.cpp.o"
+  "CMakeFiles/sisd_search.dir/exhaustive_search.cpp.o.d"
+  "CMakeFiles/sisd_search.dir/list_miner.cpp.o"
+  "CMakeFiles/sisd_search.dir/list_miner.cpp.o.d"
+  "CMakeFiles/sisd_search.dir/optimal_search.cpp.o"
+  "CMakeFiles/sisd_search.dir/optimal_search.cpp.o.d"
+  "CMakeFiles/sisd_search.dir/si_evaluator.cpp.o"
+  "CMakeFiles/sisd_search.dir/si_evaluator.cpp.o.d"
+  "CMakeFiles/sisd_search.dir/thread_pool.cpp.o"
+  "CMakeFiles/sisd_search.dir/thread_pool.cpp.o.d"
+  "libsisd_search.a"
+  "libsisd_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

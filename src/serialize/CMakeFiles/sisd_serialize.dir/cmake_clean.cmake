@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_serialize.dir/json.cpp.o"
+  "CMakeFiles/sisd_serialize.dir/json.cpp.o.d"
+  "CMakeFiles/sisd_serialize.dir/protocol.cpp.o"
+  "CMakeFiles/sisd_serialize.dir/protocol.cpp.o.d"
+  "CMakeFiles/sisd_serialize.dir/snapshot.cpp.o"
+  "CMakeFiles/sisd_serialize.dir/snapshot.cpp.o.d"
+  "libsisd_serialize.a"
+  "libsisd_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_serve.dir/event_loop_server.cpp.o"
+  "CMakeFiles/sisd_serve.dir/event_loop_server.cpp.o.d"
+  "CMakeFiles/sisd_serve.dir/metrics.cpp.o"
+  "CMakeFiles/sisd_serve.dir/metrics.cpp.o.d"
+  "CMakeFiles/sisd_serve.dir/server.cpp.o"
+  "CMakeFiles/sisd_serve.dir/server.cpp.o.d"
+  "CMakeFiles/sisd_serve.dir/service.cpp.o"
+  "CMakeFiles/sisd_serve.dir/service.cpp.o.d"
+  "CMakeFiles/sisd_serve.dir/session_manager.cpp.o"
+  "CMakeFiles/sisd_serve.dir/session_manager.cpp.o.d"
+  "libsisd_serve.a"
+  "libsisd_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_si.dir/evaluation_context.cpp.o"
+  "CMakeFiles/sisd_si.dir/evaluation_context.cpp.o.d"
+  "CMakeFiles/sisd_si.dir/interestingness.cpp.o"
+  "CMakeFiles/sisd_si.dir/interestingness.cpp.o.d"
+  "CMakeFiles/sisd_si.dir/list_gain.cpp.o"
+  "CMakeFiles/sisd_si.dir/list_gain.cpp.o.d"
+  "libsisd_si.a"
+  "libsisd_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

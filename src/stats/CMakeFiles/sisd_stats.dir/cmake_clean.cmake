@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_stats.dir/chi2_mixture.cpp.o"
+  "CMakeFiles/sisd_stats.dir/chi2_mixture.cpp.o.d"
+  "CMakeFiles/sisd_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/sisd_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/sisd_stats.dir/kde.cpp.o"
+  "CMakeFiles/sisd_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/sisd_stats.dir/special.cpp.o"
+  "CMakeFiles/sisd_stats.dir/special.cpp.o.d"
+  "libsisd_stats.a"
+  "libsisd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

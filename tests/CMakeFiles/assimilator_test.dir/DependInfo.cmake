@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/assimilator_test.cpp" "tests/CMakeFiles/assimilator_test.dir/model/assimilator_test.cpp.o" "gcc" "tests/CMakeFiles/assimilator_test.dir/model/assimilator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/model/CMakeFiles/sisd_model.dir/DependInfo.cmake"
+  "/root/repo/src/pattern/CMakeFiles/sisd_pattern.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/sisd_data.dir/DependInfo.cmake"
+  "/root/repo/src/kernels/CMakeFiles/sisd_kernels.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/sisd_stats.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/sisd_linalg.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/sisd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

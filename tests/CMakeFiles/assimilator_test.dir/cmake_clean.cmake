@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assimilator_test.dir/model/assimilator_test.cpp.o"
+  "CMakeFiles/assimilator_test.dir/model/assimilator_test.cpp.o.d"
+  "assimilator_test"
+  "assimilator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assimilator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_model_test.dir/model/background_model_test.cpp.o"
+  "CMakeFiles/background_model_test.dir/model/background_model_test.cpp.o.d"
+  "background_model_test"
+  "background_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

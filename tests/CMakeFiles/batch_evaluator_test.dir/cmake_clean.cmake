@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_evaluator_test.dir/search/batch_evaluator_test.cpp.o"
+  "CMakeFiles/batch_evaluator_test.dir/search/batch_evaluator_test.cpp.o.d"
+  "batch_evaluator_test"
+  "batch_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_search_test.dir/search/beam_search_test.cpp.o"
+  "CMakeFiles/beam_search_test.dir/search/beam_search_test.cpp.o.d"
+  "beam_search_test"
+  "beam_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bernoulli_model_test.dir/model/bernoulli_model_test.cpp.o"
+  "CMakeFiles/bernoulli_model_test.dir/model/bernoulli_model_test.cpp.o.d"
+  "bernoulli_model_test"
+  "bernoulli_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bernoulli_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

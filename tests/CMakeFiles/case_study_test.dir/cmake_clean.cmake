@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_test.dir/integration/case_study_test.cpp.o"
+  "CMakeFiles/case_study_test.dir/integration/case_study_test.cpp.o.d"
+  "case_study_test"
+  "case_study_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

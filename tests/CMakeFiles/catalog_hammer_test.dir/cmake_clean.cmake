@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_hammer_test.dir/serve/catalog_hammer_test.cpp.o"
+  "CMakeFiles/catalog_hammer_test.dir/serve/catalog_hammer_test.cpp.o.d"
+  "catalog_hammer_test"
+  "catalog_hammer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_hammer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chi2_mixture_test.dir/stats/chi2_mixture_test.cpp.o"
+  "CMakeFiles/chi2_mixture_test.dir/stats/chi2_mixture_test.cpp.o.d"
+  "chi2_mixture_test"
+  "chi2_mixture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chi2_mixture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_update_test.dir/linalg/cholesky_update_test.cpp.o"
+  "CMakeFiles/cholesky_update_test.dir/linalg/cholesky_update_test.cpp.o.d"
+  "cholesky_update_test"
+  "cholesky_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

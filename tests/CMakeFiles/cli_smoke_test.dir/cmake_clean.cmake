@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_smoke_test.dir/integration/cli_smoke_test.cpp.o"
+  "CMakeFiles/cli_smoke_test.dir/integration/cli_smoke_test.cpp.o.d"
+  "cli_smoke_test"
+  "cli_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

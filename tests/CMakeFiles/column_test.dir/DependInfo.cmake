@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/column_test.cpp" "tests/CMakeFiles/column_test.dir/data/column_test.cpp.o" "gcc" "tests/CMakeFiles/column_test.dir/data/column_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/data/CMakeFiles/sisd_data.dir/DependInfo.cmake"
+  "/root/repo/src/linalg/CMakeFiles/sisd_linalg.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/sisd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

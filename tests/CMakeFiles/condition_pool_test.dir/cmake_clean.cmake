@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_pool_test.dir/search/condition_pool_test.cpp.o"
+  "CMakeFiles/condition_pool_test.dir/search/condition_pool_test.cpp.o.d"
+  "condition_pool_test"
+  "condition_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

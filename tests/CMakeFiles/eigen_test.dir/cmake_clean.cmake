@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_test.dir/linalg/eigen_test.cpp.o"
+  "CMakeFiles/eigen_test.dir/linalg/eigen_test.cpp.o.d"
+  "eigen_test"
+  "eigen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

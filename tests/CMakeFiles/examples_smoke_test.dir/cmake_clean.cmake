@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_smoke_test.dir/integration/examples_smoke_test.cpp.o"
+  "CMakeFiles/examples_smoke_test.dir/integration/examples_smoke_test.cpp.o.d"
+  "examples_smoke_test"
+  "examples_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_search_test.dir/search/exhaustive_search_test.cpp.o"
+  "CMakeFiles/exhaustive_search_test.dir/search/exhaustive_search_test.cpp.o.d"
+  "exhaustive_search_test"
+  "exhaustive_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_factor_test.dir/model/incremental_factor_test.cpp.o"
+  "CMakeFiles/incremental_factor_test.dir/model/incremental_factor_test.cpp.o.d"
+  "incremental_factor_test"
+  "incremental_factor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

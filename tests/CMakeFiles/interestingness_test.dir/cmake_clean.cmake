@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interestingness_test.dir/si/interestingness_test.cpp.o"
+  "CMakeFiles/interestingness_test.dir/si/interestingness_test.cpp.o.d"
+  "interestingness_test"
+  "interestingness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interestingness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kde_test.dir/stats/kde_test.cpp.o"
+  "CMakeFiles/kde_test.dir/stats/kde_test.cpp.o.d"
+  "kde_test"
+  "kde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

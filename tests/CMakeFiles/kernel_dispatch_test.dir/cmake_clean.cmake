@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_dispatch_test.dir/kernels/kernel_dispatch_test.cpp.o"
+  "CMakeFiles/kernel_dispatch_test.dir/kernels/kernel_dispatch_test.cpp.o.d"
+  "kernel_dispatch_test"
+  "kernel_dispatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_parity_test.dir/kernels/kernel_parity_test.cpp.o"
+  "CMakeFiles/kernel_parity_test.dir/kernels/kernel_parity_test.cpp.o.d"
+  "kernel_parity_test"
+  "kernel_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

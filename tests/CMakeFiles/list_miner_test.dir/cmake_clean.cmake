@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_miner_test.dir/search/list_miner_test.cpp.o"
+  "CMakeFiles/list_miner_test.dir/search/list_miner_test.cpp.o.d"
+  "list_miner_test"
+  "list_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_snapshot_fuzz_test.dir/core/list_snapshot_fuzz_test.cpp.o"
+  "CMakeFiles/list_snapshot_fuzz_test.dir/core/list_snapshot_fuzz_test.cpp.o.d"
+  "list_snapshot_fuzz_test"
+  "list_snapshot_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_snapshot_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

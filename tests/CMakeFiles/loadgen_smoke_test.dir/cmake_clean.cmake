@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadgen_smoke_test.dir/integration/loadgen_smoke_test.cpp.o"
+  "CMakeFiles/loadgen_smoke_test.dir/integration/loadgen_smoke_test.cpp.o.d"
+  "loadgen_smoke_test"
+  "loadgen_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadgen_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_list_serve_test.dir/serve/mine_list_serve_test.cpp.o"
+  "CMakeFiles/mine_list_serve_test.dir/serve/mine_list_serve_test.cpp.o.d"
+  "mine_list_serve_test"
+  "mine_list_serve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_list_serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_fuzz_test.dir/model/model_fuzz_test.cpp.o"
+  "CMakeFiles/model_fuzz_test.dir/model/model_fuzz_test.cpp.o.d"
+  "model_fuzz_test"
+  "model_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_search_test.dir/search/optimal_search_test.cpp.o"
+  "CMakeFiles/optimal_search_test.dir/search/optimal_search_test.cpp.o.d"
+  "optimal_search_test"
+  "optimal_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_measures_test.dir/baseline/quality_measures_test.cpp.o"
+  "CMakeFiles/quality_measures_test.dir/baseline/quality_measures_test.cpp.o.d"
+  "quality_measures_test"
+  "quality_measures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

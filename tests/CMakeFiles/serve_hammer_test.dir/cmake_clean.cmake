@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_hammer_test.dir/serve/serve_hammer_test.cpp.o"
+  "CMakeFiles/serve_hammer_test.dir/serve/serve_hammer_test.cpp.o.d"
+  "serve_hammer_test"
+  "serve_hammer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_hammer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

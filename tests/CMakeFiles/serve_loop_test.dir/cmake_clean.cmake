@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_loop_test.dir/serve/serve_loop_test.cpp.o"
+  "CMakeFiles/serve_loop_test.dir/serve/serve_loop_test.cpp.o.d"
+  "serve_loop_test"
+  "serve_loop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_smoke_test.dir/integration/serve_smoke_test.cpp.o"
+  "CMakeFiles/serve_smoke_test.dir/integration/serve_smoke_test.cpp.o.d"
+  "serve_smoke_test"
+  "serve_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_manager_test.dir/serve/session_manager_test.cpp.o"
+  "CMakeFiles/session_manager_test.dir/serve/session_manager_test.cpp.o.d"
+  "session_manager_test"
+  "session_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

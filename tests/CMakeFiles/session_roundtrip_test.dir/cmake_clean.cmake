@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_roundtrip_test.dir/integration/session_roundtrip_test.cpp.o"
+  "CMakeFiles/session_roundtrip_test.dir/integration/session_roundtrip_test.cpp.o.d"
+  "session_roundtrip_test"
+  "session_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

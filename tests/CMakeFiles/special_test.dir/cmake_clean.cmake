@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_test.dir/stats/special_test.cpp.o"
+  "CMakeFiles/special_test.dir/stats/special_test.cpp.o.d"
+  "special_test"
+  "special_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_optimizer_test.dir/optimize/sphere_optimizer_test.cpp.o"
+  "CMakeFiles/sphere_optimizer_test.dir/optimize/sphere_optimizer_test.cpp.o.d"
+  "sphere_optimizer_test"
+  "sphere_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spread_objective_test.dir/optimize/spread_objective_test.cpp.o"
+  "CMakeFiles/spread_objective_test.dir/optimize/spread_objective_test.cpp.o.d"
+  "spread_objective_test"
+  "spread_objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spread_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

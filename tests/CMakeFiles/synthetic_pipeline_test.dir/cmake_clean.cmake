@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_pipeline_test.dir/integration/synthetic_pipeline_test.cpp.o"
+  "CMakeFiles/synthetic_pipeline_test.dir/integration/synthetic_pipeline_test.cpp.o.d"
+  "synthetic_pipeline_test"
+  "synthetic_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_invariance_test.dir/core/thread_invariance_test.cpp.o"
+  "CMakeFiles/thread_invariance_test.dir/core/thread_invariance_test.cpp.o.d"
+  "thread_invariance_test"
+  "thread_invariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_budget_test.dir/search/time_budget_test.cpp.o"
+  "CMakeFiles/time_budget_test.dir/search/time_budget_test.cpp.o.d"
+  "time_budget_test"
+  "time_budget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_test.dir/linalg/vector_test.cpp.o"
+  "CMakeFiles/vector_test.dir/linalg/vector_test.cpp.o.d"
+  "vector_test"
+  "vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

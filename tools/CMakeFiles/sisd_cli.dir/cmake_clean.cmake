@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_cli.dir/sisd_cli.cpp.o"
+  "CMakeFiles/sisd_cli.dir/sisd_cli.cpp.o.d"
+  "sisd_cli"
+  "sisd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

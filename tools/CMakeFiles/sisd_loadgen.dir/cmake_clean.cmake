@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_loadgen.dir/sisd_loadgen.cpp.o"
+  "CMakeFiles/sisd_loadgen.dir/sisd_loadgen.cpp.o.d"
+  "sisd_loadgen"
+  "sisd_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

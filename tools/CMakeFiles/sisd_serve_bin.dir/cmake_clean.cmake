@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_serve_bin.dir/sisd_serve.cpp.o"
+  "CMakeFiles/sisd_serve_bin.dir/sisd_serve.cpp.o.d"
+  "sisd_serve"
+  "sisd_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_serve_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
