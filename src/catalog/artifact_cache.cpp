@@ -1,6 +1,7 @@
 #include "catalog/artifact_cache.hpp"
 
 #include <utility>
+#include <vector>
 
 namespace sisd::catalog {
 
@@ -25,6 +26,46 @@ std::shared_ptr<const search::ConditionPool> ArtifactCache::PoolFor(
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = pools_.emplace(key, std::move(built));
   return it->second;
+}
+
+size_t ArtifactCache::RefreshPoolsFor(uint64_t parent_fingerprint,
+                                      uint64_t child_fingerprint,
+                                      const data::DataTable& child_descriptions,
+                                      size_t parent_rows) {
+  // Snapshot the parent's pools under the lock; build incrementally
+  // outside it (same no-stall rationale as PoolFor's miss path).
+  std::vector<std::pair<Key, std::shared_ptr<const search::ConditionPool>>>
+      parents;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, pool] : pools_) {
+      if (std::get<0>(key) != parent_fingerprint) continue;
+      const Key child_key{child_fingerprint, std::get<1>(key),
+                          std::get<2>(key)};
+      if (pools_.count(child_key) > 0) continue;  // already refreshed
+      parents.emplace_back(key, pool);
+    }
+  }
+  size_t refreshed = 0;
+  for (const auto& [key, parent_pool] : parents) {
+    search::IncrementalPoolStats stats;
+    auto built = std::make_shared<const search::ConditionPool>(
+        search::ConditionPool::BuildIncremental(
+            child_descriptions, *parent_pool, parent_rows,
+            std::get<1>(key), std::get<2>(key), &stats));
+    const Key child_key{child_fingerprint, std::get<1>(key),
+                        std::get<2>(key)};
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = pools_.emplace(child_key, std::move(built));
+    if (inserted) {
+      ++refreshed;
+      refreshes_.fetch_add(1, std::memory_order_relaxed);
+      conditions_reused_.fetch_add(stats.reused, std::memory_order_relaxed);
+      conditions_rebuilt_.fetch_add(stats.rebuilt,
+                                    std::memory_order_relaxed);
+    }
+  }
+  return refreshed;
 }
 
 size_t ArtifactCache::PoolCountFor(uint64_t fingerprint) const {

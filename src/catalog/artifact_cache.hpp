@@ -57,10 +57,38 @@ class ArtifactCache {
   /// holding the shared_ptr keep their pool alive; the cache just forgets.
   void DropPoolsFor(uint64_t fingerprint);
 
+  /// Derives `child_fingerprint` pools incrementally from every cached
+  /// pool of `parent_fingerprint` (bitsets extend in place for thresholds
+  /// that didn't move; moved thresholds rebuild — bit-identical to a
+  /// scratch build either way). `child_descriptions` must be the
+  /// row-append child of the parent's table and `parent_rows` the
+  /// parent's row count. A later `PoolFor` on the child then hits the
+  /// cache instead of building from scratch. Returns the number of pools
+  /// refreshed (keys the child already had are skipped). Refreshes count
+  /// in `refreshes()`/`conditions_*()`, not in `hits()`/`builds()`.
+  size_t RefreshPoolsFor(uint64_t parent_fingerprint,
+                         uint64_t child_fingerprint,
+                         const data::DataTable& child_descriptions,
+                         size_t parent_rows);
+
   /// Lookups answered from the cache / lookups that built a pool (the
   /// serve layer's `metrics` verb reports the hit rate).
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t builds() const { return builds_.load(std::memory_order_relaxed); }
+
+  /// Incremental pool refreshes performed on dataset appends, and how
+  /// many per-condition extensions they served by extending parent
+  /// bitsets in place vs rebuilding (the incremental-vs-scratch gauges of
+  /// the `metrics` verb).
+  uint64_t refreshes() const {
+    return refreshes_.load(std::memory_order_relaxed);
+  }
+  uint64_t conditions_reused() const {
+    return conditions_reused_.load(std::memory_order_relaxed);
+  }
+  uint64_t conditions_rebuilt() const {
+    return conditions_rebuilt_.load(std::memory_order_relaxed);
+  }
 
  private:
   using Key = std::tuple<uint64_t, int, bool>;
@@ -69,6 +97,9 @@ class ArtifactCache {
   std::map<Key, std::shared_ptr<const search::ConditionPool>> pools_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> builds_{0};
+  std::atomic<uint64_t> refreshes_{0};
+  std::atomic<uint64_t> conditions_reused_{0};
+  std::atomic<uint64_t> conditions_rebuilt_{0};
 };
 
 }  // namespace sisd::catalog

@@ -211,6 +211,213 @@ Result<PinnedDataset> DatasetCatalog::Resolve(const DatasetRef& ref,
   return found;
 }
 
+namespace {
+
+/// Registered name of a child version: `<base>@v<depth+2>`, where base is
+/// the parent's name with any existing `@v<digits>` suffix stripped (the
+/// root is implicitly v1, its first child v2, ...).
+std::string DeriveChildName(const std::string& parent_name,
+                            size_t parent_depth) {
+  std::string base = parent_name;
+  const size_t at = base.rfind("@v");
+  if (at != std::string::npos && at + 2 < base.size()) {
+    bool all_digits = true;
+    for (size_t i = at + 2; i < base.size(); ++i) {
+      if (base[i] < '0' || base[i] > '9') {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits) base = base.substr(0, at);
+  }
+  return StrFormat("%s@v%zu", base.c_str(), parent_depth + 2);
+}
+
+}  // namespace
+
+Result<AppendOutcome> DatasetCatalog::Append(const std::string& parent_spec,
+                                             const AppendBuilder& build_child,
+                                             bool pin, bool retain) {
+  SISD_CHECK(build_child != nullptr);
+  // Temporary pin on the parent so a concurrent drop/evict cannot remove
+  // it while the child is being built and registered.
+  SISD_ASSIGN_OR_RETURN(parent,
+                        FindByNameOrFingerprint(parent_spec, /*pin=*/true));
+  const data::Dataset& parent_ds = *parent.dataset;
+  const size_t row_offset = parent_ds.num_rows();
+
+  Result<data::Dataset> child_result = build_child(parent_ds);
+  Status invalid = child_result.ok() ? child_result.Value().Validate()
+                                     : child_result.status();
+  if (invalid.ok()) {
+    const data::Dataset& child = child_result.Value();
+    if (child.num_rows() < row_offset) {
+      invalid = Status::InvalidArgument(StrFormat(
+          "append builder shrank the dataset (%zu rows, parent has %zu)",
+          child.num_rows(), row_offset));
+    } else if (child.num_descriptions() != parent_ds.num_descriptions() ||
+               child.target_names != parent_ds.target_names) {
+      invalid = Status::InvalidArgument(
+          "append builder changed the dataset schema");
+    }
+  }
+  if (!invalid.ok()) {
+    Unpin(parent.fingerprint);
+    return invalid;
+  }
+  data::Dataset child = std::move(child_result).MoveValue();
+
+  AppendOutcome out;
+  out.parent_fingerprint = parent.fingerprint;
+  out.row_offset = row_offset;
+  out.appended_rows = child.num_rows() - row_offset;
+  if (out.appended_rows == 0) {
+    // Empty append: a no-op returning the parent entry itself.
+    out.reused = true;
+    out.dataset = parent;  // the temporary pin transfers to the caller...
+    if (!pin) Unpin(parent.fingerprint);  // ...or is released
+    return out;
+  }
+
+  // Chain identity + marginal accounting: both O(appended rows).
+  const uint64_t child_fp =
+      ChainFingerprintAppendedRows(parent.fingerprint, child, row_offset);
+  const size_t marginal_bytes = AppendedRowsBytes(child, row_offset);
+
+  bool evicted_self = false;
+  for (;;) {
+    std::shared_ptr<const data::Dataset> existing;
+    uint64_t existing_parent = 0;
+    size_t existing_offset = 0;
+    std::string existing_name;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto pit = entries_.find(parent.fingerprint);
+      SISD_CHECK(pit != entries_.end());  // we hold a pin
+      auto it = entries_.find(child_fp);
+      if (it == entries_.end()) {
+        Entry entry;
+        entry.name =
+            DeriveChildName(pit->second.name, pit->second.ancestors.size());
+        // Sibling versions of one parent share a depth; suffix the chain
+        // fingerprint so name-based resolution stays unambiguous.
+        for (const auto& [fp, existing_entry] : entries_) {
+          if (existing_entry.name == entry.name) {
+            entry.name += "-" + FingerprintToHex(child_fp).substr(0, 8);
+            break;
+          }
+        }
+        // The dataset carries its version name: serve responses and
+        // name-based catalog lookups must address the child, not the
+        // parent the builder copied the name from.
+        child.name = entry.name;
+        entry.bytes = marginal_bytes;
+        entry.retain = retain;
+        entry.parent_fingerprint = parent.fingerprint;
+        entry.row_offset = row_offset;
+        entry.shared_bytes = pit->second.shared_bytes + pit->second.bytes;
+        entry.ancestors = pit->second.ancestors;
+        entry.ancestors.push_back(parent.fingerprint);
+        entry.dataset =
+            std::make_shared<const data::Dataset>(std::move(child));
+        auto [inserted, ok] = entries_.emplace(child_fp, std::move(entry));
+        SISD_CHECK(ok);
+        total_bytes_ += inserted->second.bytes;
+        appends_.fetch_add(1, std::memory_order_relaxed);
+        out.dataset =
+            TouchLocked(&inserted->second, child_fp, pin, /*reused=*/false);
+        EnforceBudgetLocked();
+        // Self-victim check: the budget sweep may have evicted the entry
+        // just created. Report outside the lock (Unpin re-locks).
+        evicted_self = entries_.find(child_fp) == entries_.end();
+        break;
+      }
+      // Chain-fingerprint hit: like Intern, the hash is only an index.
+      // Verify the stored entry really is this exact append (same parent,
+      // same offset, identical appended rows) outside the lock.
+      existing = it->second.dataset;
+      existing_parent = it->second.parent_fingerprint;
+      existing_offset = it->second.row_offset;
+      existing_name = it->second.name;
+    }
+    if (existing_parent != parent.fingerprint ||
+        existing_offset != row_offset ||
+        !AppendedRowsEqual(*existing, child, row_offset)) {
+      Unpin(parent.fingerprint);
+      return Status::Conflict(
+          "chain fingerprint collision: this append to '" + parent_ds.name +
+          "' hashes to " + FingerprintToHex(child_fp) +
+          " but its content differs from the registered version '" +
+          existing_name + "'");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(child_fp);
+    if (it == entries_.end() || it->second.dataset != existing) {
+      continue;  // dropped or replaced while verifying: retry
+    }
+    it->second.retain = it->second.retain || retain;
+    out.dataset = TouchLocked(&it->second, child_fp, pin, /*reused=*/true);
+    out.reused = true;
+    break;
+  }
+  if (evicted_self) {
+    Unpin(parent.fingerprint);
+    return Status::Conflict(StrFormat(
+        "dataset version '%s' (%zu marginal bytes) does not fit the "
+        "catalog byte budget (%zu bytes)",
+        out.dataset.dataset->name.c_str(), marginal_bytes,
+        config_.max_bytes));
+  }
+
+  // Refresh every cached parent pool for the child (outside the lock;
+  // bit-identical to scratch builds). If the child was evicted while we
+  // refreshed (tiny budget), forget the freshly inserted pools again.
+  out.pools_refreshed = artifacts_.RefreshPoolsFor(
+      parent.fingerprint, child_fp, out.dataset.dataset->descriptions,
+      row_offset);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.find(child_fp) == entries_.end()) {
+      artifacts_.DropPoolsFor(child_fp);
+    }
+  }
+  Unpin(parent.fingerprint);
+  return out;
+}
+
+Result<std::vector<CatalogEntryInfo>> DatasetCatalog::ListVersions(
+    const std::string& spec) {
+  SISD_ASSIGN_OR_RETURN(target, FindByNameOrFingerprint(spec, /*pin=*/false));
+  std::vector<CatalogEntryInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(target.fingerprint);
+    if (it == entries_.end()) return out;  // dropped while resolving
+    std::vector<uint64_t> chain = it->second.ancestors;
+    chain.push_back(target.fingerprint);
+    for (uint64_t fp : chain) {
+      auto eit = entries_.find(fp);
+      if (eit == entries_.end()) continue;  // ancestor already dropped
+      out.push_back(InfoLocked(fp, eit->second));
+    }
+  }
+  for (CatalogEntryInfo& info : out) {
+    info.pools = artifacts_.PoolCountFor(info.fingerprint);
+  }
+  return out;
+}
+
+bool DatasetCatalog::IsDescendantOf(uint64_t fingerprint,
+                                    uint64_t ancestor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return false;
+  for (uint64_t fp : it->second.ancestors) {
+    if (fp == ancestor) return true;
+  }
+  return false;
+}
+
 void DatasetCatalog::Unpin(uint64_t fingerprint) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fingerprint);
@@ -265,21 +472,30 @@ std::shared_ptr<const search::ConditionPool> DatasetCatalog::PoolFor(
                             num_splits, include_exclusions);
 }
 
+CatalogEntryInfo DatasetCatalog::InfoLocked(uint64_t fingerprint,
+                                            const Entry& entry) {
+  CatalogEntryInfo info;
+  info.name = entry.name;
+  info.fingerprint = fingerprint;
+  info.bytes = entry.bytes;
+  info.sessions = entry.pins;
+  info.rows = entry.dataset->num_rows();
+  info.descriptions = entry.dataset->num_descriptions();
+  info.targets = entry.dataset->num_targets();
+  info.parent_fingerprint = entry.parent_fingerprint;
+  info.row_offset = entry.row_offset;
+  info.shared_bytes = entry.shared_bytes;
+  info.depth = entry.ancestors.size();
+  return info;
+}
+
 std::vector<CatalogEntryInfo> DatasetCatalog::List() const {
   std::vector<CatalogEntryInfo> out;
   {
     std::lock_guard<std::mutex> lock(mu_);
     out.reserve(entries_.size());
     for (const auto& [fingerprint, entry] : entries_) {
-      CatalogEntryInfo info;
-      info.name = entry.name;
-      info.fingerprint = fingerprint;
-      info.bytes = entry.bytes;
-      info.sessions = entry.pins;
-      info.rows = entry.dataset->num_rows();
-      info.descriptions = entry.dataset->num_descriptions();
-      info.targets = entry.dataset->num_targets();
-      out.push_back(std::move(info));
+      out.push_back(InfoLocked(fingerprint, entry));
     }
   }
   // Pool counts outside the registry lock (the artifact cache has its own).
@@ -309,8 +525,20 @@ CatalogStats DatasetCatalog::Stats() const {
   stats.interns = interns_.load(std::memory_order_relaxed);
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.appends = appends_.load(std::memory_order_relaxed);
   stats.pool_builds = artifacts_.builds();
   stats.pool_hits = artifacts_.hits();
+  stats.pool_refreshes = artifacts_.refreshes();
+  stats.pool_conditions_reused = artifacts_.conditions_reused();
+  stats.pool_conditions_rebuilt = artifacts_.conditions_rebuilt();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fingerprint, entry] : entries_) {
+      if (entry.parent_fingerprint == 0) continue;
+      ++stats.versions;
+      stats.shared_bytes += entry.shared_bytes;
+    }
+  }
   return stats;
 }
 

@@ -43,6 +43,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,12 +68,18 @@ struct CatalogConfig {
 struct CatalogEntryInfo {
   std::string name;
   uint64_t fingerprint = 0;
-  size_t bytes = 0;     ///< snapshot-encoded size (memory accounting unit)
+  size_t bytes = 0;     ///< accounting unit: snapshot-encoded size for
+                        ///< roots, marginal appended bytes for versions
   size_t pools = 0;     ///< cached condition pools for this dataset
   uint64_t sessions = 0;  ///< live session pins
   size_t rows = 0;
   size_t descriptions = 0;
   size_t targets = 0;
+  /// Version-chain fields (zero for root datasets).
+  uint64_t parent_fingerprint = 0;  ///< 0 = root (not a version)
+  size_t row_offset = 0;      ///< parent's row count (first appended row)
+  size_t shared_bytes = 0;    ///< prefix bytes shared with the ancestry
+  size_t depth = 0;           ///< chain length above this entry (root = 0)
 };
 
 /// \brief Monotonic catalog traffic counters (process lifetime). A "hit"
@@ -85,8 +92,15 @@ struct CatalogStats {
   uint64_t interns = 0;      ///< fresh content registrations
   uint64_t hits = 0;         ///< reused-entry resolutions
   uint64_t misses = 0;       ///< failed lookup probes
-  uint64_t pool_builds = 0;  ///< condition pools built
+  uint64_t pool_builds = 0;  ///< condition pools built from scratch
   uint64_t pool_hits = 0;    ///< condition pools answered from cache
+  /// Version-chain gauges and incremental-refresh counters.
+  uint64_t appends = 0;         ///< fresh version registrations
+  uint64_t versions = 0;        ///< current entries that are versions
+  uint64_t shared_bytes = 0;    ///< current prefix bytes shared via chains
+  uint64_t pool_refreshes = 0;  ///< pools derived incrementally on append
+  uint64_t pool_conditions_reused = 0;   ///< extensions extended in place
+  uint64_t pool_conditions_rebuilt = 0;  ///< extensions rebuilt (moved)
 };
 
 /// \brief A resolved catalog dataset: the shared instance plus its address.
@@ -101,6 +115,23 @@ struct PinnedDataset {
     return DatasetRef{fingerprint, dataset ? dataset->name : ""};
   }
 };
+
+/// \brief Outcome of `DatasetCatalog::Append`.
+struct AppendOutcome {
+  /// The child version (or the parent itself for an empty append).
+  PinnedDataset dataset;
+  uint64_t parent_fingerprint = 0;
+  size_t appended_rows = 0;
+  size_t row_offset = 0;        ///< parent's row count
+  bool reused = false;          ///< identical append already registered
+  size_t pools_refreshed = 0;   ///< parent pools refreshed incrementally
+};
+
+/// \brief Builds the child dataset from the resolved parent (e.g. via
+/// `data::AppendRowsFromCells` / `AppendRowsFromCsvText`). Runs outside
+/// the catalog lock; a failure leaves the catalog untouched.
+using AppendBuilder =
+    std::function<Result<data::Dataset>(const data::Dataset& parent)>;
 
 /// \brief The registry. See the file comment for semantics.
 class DatasetCatalog {
@@ -144,6 +175,34 @@ class DatasetCatalog {
   /// Resolves a snapshot/protocol `dataset_ref`: the fingerprint is the
   /// identity; `ref.name` only improves the NotFound message.
   Result<PinnedDataset> Resolve(const DatasetRef& ref, bool pin);
+
+  /// Registers a row-append *version* of the dataset `parent_spec`
+  /// resolves to (name or 16-hex fingerprint). `build_child` receives the
+  /// parent and returns the grown dataset (same schema, rows only added —
+  /// construct it with the `data/append.hpp` helpers so column chunks are
+  /// shared); any builder error is returned verbatim with the catalog
+  /// untouched. The child is content-addressed by a chain fingerprint
+  /// (parent fingerprint + appended rows, O(new rows)), registered as
+  /// `<base>@v<depth+1>`, and accounted at its *marginal* bytes; an
+  /// identical re-append dedups onto the existing version (verified by
+  /// comparing the stored child's appended rows, `reused = true`). Every
+  /// cached condition pool of the parent is refreshed incrementally for
+  /// the child before `Append` returns, so a follow-up `PoolFor`/`Rebase`
+  /// hits the cache. Appending zero rows is a no-op that returns the
+  /// parent entry. Appending to a pinned parent is allowed (the parent is
+  /// immutable; the child is a separate entry).
+  Result<AppendOutcome> Append(const std::string& parent_spec,
+                               const AppendBuilder& build_child, bool pin,
+                               bool retain);
+
+  /// The version chain of the entry `spec` resolves to: root first,
+  /// ending at the entry itself. Ancestors already dropped from the
+  /// registry are skipped (the chain metadata outlives them).
+  Result<std::vector<CatalogEntryInfo>> ListVersions(const std::string& spec);
+
+  /// True iff `ancestor` appears in the (strict) ancestor chain of the
+  /// entry `fingerprint`; false when either entry is unknown.
+  bool IsDescendantOf(uint64_t fingerprint, uint64_t ancestor) const;
 
   /// Releases one session pin. Dropping the last pin of a non-retained
   /// (implicitly interned) entry removes it — and its cached pools — from
@@ -189,7 +248,17 @@ class DatasetCatalog {
     /// False for implicitly interned entries, which die with their last
     /// pin; true for dataset_load/--preload entries, which persist.
     bool retain = false;
+    /// Version-chain metadata (zero / empty for root datasets).
+    uint64_t parent_fingerprint = 0;
+    size_t row_offset = 0;    ///< parent's row count
+    size_t shared_bytes = 0;  ///< sum of ancestor `bytes` (frozen at append)
+    std::vector<uint64_t> ancestors;  ///< root-first chain above this entry
   };
+
+  /// Renders entry -> CatalogEntryInfo, minus the pool count, which the
+  /// caller fills outside the registry lock (mu_ held).
+  static CatalogEntryInfo InfoLocked(uint64_t fingerprint,
+                                     const Entry& entry);
 
   /// Renders entry -> PinnedDataset, bumping touch/pins (mu_ held).
   PinnedDataset TouchLocked(Entry* entry, uint64_t fingerprint, bool pin,
@@ -210,6 +279,7 @@ class DatasetCatalog {
   std::atomic<uint64_t> interns_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> appends_{0};
   ArtifactCache artifacts_;
 };
 

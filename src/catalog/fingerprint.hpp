@@ -44,6 +44,29 @@ std::string FingerprintToHex(uint64_t fingerprint);
 /// other shape.
 Result<uint64_t> FingerprintFromHex(const std::string& hex);
 
+/// \brief Chain fingerprint of a row-append dataset version: FNV-1a
+/// seeded with the parent's hex fingerprint, streamed over the typed
+/// content of rows `[from_row, n)` — numeric description values and
+/// targets by their double bits, categorical levels by label text (so the
+/// identity is independent of code numbering). O(appended rows); no
+/// serialized form is materialized, which keeps `Append` cost independent
+/// of the prefix size.
+uint64_t ChainFingerprintAppendedRows(uint64_t parent_fingerprint,
+                                      const data::Dataset& child,
+                                      size_t from_row);
+
+/// \brief True iff `a` and `b` share a schema and rows `[from_row, n)`
+/// are identical — bitwise for doubles, label text for categorical
+/// levels. The version-dedup analogue of the catalog's byte verification
+/// (a chain-fingerprint hit is only an index; this is the proof).
+bool AppendedRowsEqual(const data::Dataset& a, const data::Dataset& b,
+                       size_t from_row);
+
+/// \brief Approximate in-memory size of rows `[from_row, n)`: the
+/// marginal bytes a version adds on top of its parent (the catalog's
+/// accounting unit for versions, whose prefix storage is shared).
+size_t AppendedRowsBytes(const data::Dataset& child, size_t from_row);
+
 /// \brief A by-reference pointer to a catalog dataset, as stored in
 /// `dataset_ref` snapshots and accepted by the `open` protocol verb. The
 /// fingerprint is the identity; the name is advisory (what the dataset was

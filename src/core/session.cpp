@@ -225,6 +225,99 @@ Result<ListMineResult> MiningSession::MineList(int max_rules) {
   return result;
 }
 
+Result<RebaseOutcome> MiningSession::Rebase(
+    std::shared_ptr<const data::Dataset> dataset,
+    std::shared_ptr<const search::ConditionPool> pool,
+    std::optional<catalog::DatasetRef> origin) {
+  if (!dataset) {
+    return Status::InvalidArgument("rebase needs a non-null dataset");
+  }
+  if (!pool) {
+    return Status::InvalidArgument("rebase needs a non-null condition pool");
+  }
+  SISD_RETURN_NOT_OK(dataset->Validate());
+  if (dataset->num_rows() < dataset_->num_rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "rebase target has %zu rows, fewer than the session's %zu — only "
+        "row-appended versions are valid targets",
+        dataset->num_rows(), dataset_->num_rows()));
+  }
+  if (dataset->target_names != dataset_->target_names) {
+    return Status::InvalidArgument("rebase cannot change the target space");
+  }
+  if (dataset->num_descriptions() != dataset_->num_descriptions()) {
+    return Status::InvalidArgument(
+        "rebase cannot change the description schema");
+  }
+  for (size_t j = 0; j < dataset_->num_descriptions(); ++j) {
+    const data::Column& old_col = dataset_->descriptions.column(j);
+    const data::Column& new_col = dataset->descriptions.column(j);
+    if (old_col.name() != new_col.name() ||
+        old_col.kind() != new_col.kind()) {
+      return Status::InvalidArgument(
+          "rebase cannot change the description schema (column '" +
+          old_col.name() + "' differs)");
+    }
+  }
+
+  RebaseOutcome outcome;
+  outcome.appended_rows = dataset->num_rows() - dataset_->num_rows();
+
+  // Build the rebased state fully on the side, then swap it in — any
+  // failure below leaves *this untouched. The fresh prior is recomputed
+  // from the grown targets (cheap two-pass moments); the constraint
+  // registry is then rebuilt by replaying each assimilated intention,
+  // which runs the same rank-one factorization updates a live
+  // `AssimilateIntention` call would — so the result is bit-identical to
+  // a fresh session on `dataset` fed the same history.
+  SISD_ASSIGN_OR_RETURN(fresh,
+                        Create(dataset, config_, pool, std::move(origin)));
+  fresh.thread_pool_ = thread_pool_;
+  fresh.version_chain_ = version_chain_;
+  {
+    SessionVersionLink link;
+    link.fingerprint = origin_.has_value() ? origin_->fingerprint : 0;
+    link.name = origin_.has_value() ? origin_->name : dataset_->name;
+    link.rows = dataset_->num_rows();
+    fresh.version_chain_.push_back(std::move(link));
+  }
+  for (const IterationResult& iteration : history_) {
+    Result<IterationResult> replayed = fresh.AssimilateIntention(
+        iteration.location.pattern.subgroup.intention);
+    if (!replayed.ok()) return replayed.status();
+    ++outcome.replayed_iterations;
+  }
+  // Subgroup-list rules are re-derived on the grown rows: extensions
+  // re-evaluated, local models refitted, gains rescored against the grown
+  // default model — exactly what the miner would have recorded had it
+  // appended these intentions on the new data.
+  for (const ListMineResult& saved : list_history_) {
+    if (!fresh.list_.has_value()) {
+      fresh.list_ = search::MakeEmptySubgroupList(fresh.dataset_->targets,
+                                                  fresh.config_.list_gain);
+    }
+    ListMineResult rewritten;
+    rewritten.candidates_evaluated = saved.candidates_evaluated;
+    rewritten.exhausted = saved.exhausted;
+    rewritten.hit_time_budget = saved.hit_time_budget;
+    for (const search::SubgroupRule& rule : saved.rules) {
+      Result<search::SubgroupRule> rederived = search::RederiveSubgroupRule(
+          fresh.dataset_->descriptions, fresh.dataset_->targets,
+          fresh.config_.list_gain, rule.intention, *fresh.list_);
+      if (!rederived.ok()) return rederived.status();
+      rewritten.rules.push_back(rederived.Value());
+      search::ReplaySubgroupRule(std::move(rederived).MoveValue(),
+                                 &*fresh.list_);
+      ++outcome.replayed_rules;
+    }
+    rewritten.total_gain = fresh.list_->total_gain;
+    fresh.list_history_.push_back(std::move(rewritten));
+  }
+  *this = std::move(fresh);
+  Touch();
+  return outcome;
+}
+
 Result<std::vector<IterationResult>> MiningSession::MineIterations(
     int count) {
   std::vector<IterationResult> results;
@@ -306,6 +399,16 @@ std::string MiningSession::SaveToString(SnapshotForm form) const {
     // a catalog origin; everything else is unchanged. A session without an
     // origin has no catalog to point at, so it falls back to inline.
     out.Set("dataset_ref", EncodeDatasetRef(*origin_));
+    // Additive field: the pre-rebase dataset lineage. Written only for
+    // rebased sessions in ref form, so never-rebased snapshots (and all
+    // inline ones) keep their exact historical bytes.
+    if (!version_chain_.empty()) {
+      JsonValue chain = JsonValue::Array();
+      for (const SessionVersionLink& link : version_chain_) {
+        chain.Append(EncodeVersionLink(link));
+      }
+      out.Set("version_chain", std::move(chain));
+    }
   } else {
     out.Set("dataset", serialize::EncodeDataset(*dataset_));
   }
@@ -398,6 +501,18 @@ Result<MiningSession> MiningSession::RestoreFromString(
     }
   }
 
+  std::vector<SessionVersionLink> version_chain;
+  if (const JsonValue* chain_json = root.Find("version_chain")) {
+    if (!chain_json->is_array()) {
+      return Status::InvalidArgument("version_chain must be an array");
+    }
+    version_chain.reserve(chain_json->size());
+    for (const JsonValue& entry : chain_json->items()) {
+      SISD_ASSIGN_OR_RETURN(link, DecodeVersionLink(entry));
+      version_chain.push_back(std::move(link));
+    }
+  }
+
   SISD_ASSIGN_OR_RETURN(assimilator_json, root.Get("assimilator"));
   SISD_ASSIGN_OR_RETURN(assimilator,
                         serialize::DecodeAssimilator(*assimilator_json));
@@ -429,6 +544,7 @@ Result<MiningSession> MiningSession::RestoreFromString(
   MiningSession session(std::move(shared_dataset), std::move(config),
                         std::move(pool), std::move(assimilator),
                         std::move(origin));
+  session.version_chain_ = std::move(version_chain);
 
   SISD_ASSIGN_OR_RETURN(history_json, root.Get("history"));
   if (!history_json->is_array()) {

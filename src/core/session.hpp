@@ -125,6 +125,28 @@ struct ListMineResult {
   bool hit_time_budget = false;
 };
 
+/// \brief One hop of a session's dataset lineage: the dataset the session
+/// was mining *before* a `Rebase` moved it to an appended version.
+struct SessionVersionLink {
+  /// Catalog fingerprint of the pre-rebase dataset (0 when the session
+  /// owned a private copy with no catalog origin).
+  uint64_t fingerprint = 0;
+  std::string name;
+  /// Row count the session had on that version.
+  size_t rows = 0;
+};
+
+/// \brief Output of `Rebase`.
+struct RebaseOutcome {
+  /// Rows the new version added over the session's previous dataset.
+  size_t appended_rows = 0;
+  /// Iterative-dialogue constraints replayed through the rank-one
+  /// assimilation path.
+  size_t replayed_iterations = 0;
+  /// Subgroup-list rules re-derived and replayed on the grown data.
+  size_t replayed_rules = 0;
+};
+
 /// \brief Snapshot schema version written by `Save`. Bumped only on
 /// incompatible layout changes; `Restore` rejects versions it does not
 /// know (see README "Session snapshots" for the policy).
@@ -197,6 +219,35 @@ class MiningSession {
   /// search. Fails when the intention matches no rows.
   Result<IterationResult> AssimilateIntention(
       const pattern::Intention& intention);
+
+  /// Moves the session onto `dataset`, a row-appended version of its
+  /// current dataset (same description schema and target names, at least
+  /// as many rows), without refitting from a cold start: the background
+  /// model's prior is recomputed on the grown targets and every
+  /// assimilated constraint is replayed through the same rank-one
+  /// factorization updates `AssimilateIntention` uses, so the rebased
+  /// state is bit-identical to a fresh session on `dataset` that
+  /// assimilated the same history — that equivalence is the determinism
+  /// contract `rebase_test` checks. The iteration history is rewritten in
+  /// assimilate form (candidates 0, ranked = the replayed pattern) and
+  /// subgroup-list rules are re-derived on the grown rows; `origin`
+  /// becomes the new catalog origin (the previous origin is recorded in
+  /// `version_chain()`). `pool` must match `dataset` and the session's
+  /// search config — on catalog appends, `DatasetCatalog::Append` has
+  /// already refreshed it incrementally. Strong exception safety: on any
+  /// error the session is unchanged.
+  Result<RebaseOutcome> Rebase(
+      std::shared_ptr<const data::Dataset> dataset,
+      std::shared_ptr<const search::ConditionPool> pool,
+      std::optional<catalog::DatasetRef> origin);
+
+  /// The datasets this session mined before each `Rebase`, oldest first
+  /// (empty for never-rebased sessions). Serialized only in
+  /// `SnapshotForm::kDatasetRef` snapshots (additive `version_chain`
+  /// field) — inline snapshots are self-contained and unchanged.
+  const std::vector<SessionVersionLink>& version_chain() const {
+    return version_chain_;
+  }
 
   /// Deep-copies the session (dataset shared, model/constraints/history
   /// copied): the copy mines independently and byte-identically to the
@@ -379,6 +430,8 @@ class MiningSession {
   std::shared_ptr<const search::ConditionPool> pool_;
   model::PatternAssimilator assimilator_;
   std::optional<catalog::DatasetRef> origin_;
+  /// Dataset lineage across rebases, oldest first (see `version_chain()`).
+  std::vector<SessionVersionLink> version_chain_;
   std::vector<IterationResult> history_;
   /// Current subgroup list (absent until list mining starts). Rebuilt on
   /// restore by replaying `list_history_`'s rules — integer bitset ops and

@@ -311,6 +311,33 @@ Result<catalog::DatasetRef> DecodeDatasetRef(const JsonValue& json) {
   return out;
 }
 
+JsonValue EncodeVersionLink(const SessionVersionLink& link) {
+  JsonValue out = JsonValue::Object();
+  out.Set("fingerprint",
+          JsonValue::Str(catalog::FingerprintToHex(link.fingerprint)));
+  out.Set("name", JsonValue::Str(link.name));
+  out.Set("rows", JsonValue::Int(static_cast<int64_t>(link.rows)));
+  return out;
+}
+
+Result<SessionVersionLink> DecodeVersionLink(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("version_chain entry must be an object");
+  }
+  SessionVersionLink out;
+  SISD_ASSIGN_OR_RETURN(fingerprint_json, json.Get("fingerprint"));
+  SISD_ASSIGN_OR_RETURN(hex, fingerprint_json->GetString());
+  SISD_ASSIGN_OR_RETURN(fingerprint, catalog::FingerprintFromHex(hex));
+  out.fingerprint = fingerprint;
+  SISD_ASSIGN_OR_RETURN(name_json, json.Get("name"));
+  SISD_ASSIGN_OR_RETURN(name, name_json->GetString());
+  out.name = std::move(name);
+  SISD_ASSIGN_OR_RETURN(rows_json, json.Get("rows"));
+  SISD_ASSIGN_OR_RETURN(rows, rows_json->GetSize());
+  out.rows = rows;
+  return out;
+}
+
 JsonValue EncodeScoredLocation(const ScoredLocationPattern& p) {
   JsonValue out = JsonValue::Object();
   out.Set("subgroup", EncodeSubgroup(p.pattern.subgroup));

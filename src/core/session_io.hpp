@@ -30,6 +30,14 @@ Result<catalog::DatasetRef> DecodeDatasetRef(
     const serialize::JsonValue& json);
 /// @}
 
+/// \name Version-chain link codec: one entry of the additive
+/// `version_chain` snapshot field of rebased sessions.
+/// @{
+serialize::JsonValue EncodeVersionLink(const SessionVersionLink& link);
+Result<SessionVersionLink> DecodeVersionLink(
+    const serialize::JsonValue& json);
+/// @}
+
 /// \name Scored pattern + iteration codecs.
 /// @{
 serialize::JsonValue EncodeScoredLocation(const ScoredLocationPattern& p);

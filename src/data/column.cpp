@@ -26,13 +26,19 @@ bool IsOrderable(AttributeKind kind) {
 
 Column Column::Numeric(std::string name, std::vector<double> values) {
   Column col(std::move(name), AttributeKind::kNumeric);
-  col.numeric_ = std::move(values);
+  col.size_ = values.size();
+  Segment seg;
+  seg.numeric = std::make_shared<const std::vector<double>>(std::move(values));
+  col.segments_.push_back(std::move(seg));
   return col;
 }
 
 Column Column::Ordinal(std::string name, std::vector<double> values) {
   Column col(std::move(name), AttributeKind::kOrdinal);
-  col.numeric_ = std::move(values);
+  col.size_ = values.size();
+  Segment seg;
+  seg.numeric = std::make_shared<const std::vector<double>>(std::move(values));
+  col.segments_.push_back(std::move(seg));
   return col;
 }
 
@@ -42,7 +48,10 @@ Column Column::Categorical(std::string name, std::vector<int32_t> codes,
     SISD_CHECK(code >= 0 && static_cast<size_t>(code) < labels.size());
   }
   Column col(std::move(name), AttributeKind::kCategorical);
-  col.codes_ = std::move(codes);
+  col.size_ = codes.size();
+  Segment seg;
+  seg.codes = std::make_shared<const std::vector<int32_t>>(std::move(codes));
+  col.segments_.push_back(std::move(seg));
   col.labels_ = std::move(labels);
   return col;
 }
@@ -73,9 +82,70 @@ Column Column::Binary(std::string name, const std::vector<bool>& values,
   codes.reserve(values.size());
   for (bool v : values) codes.push_back(v ? 1 : 0);
   Column col(std::move(name), AttributeKind::kBinary);
-  col.codes_ = std::move(codes);
+  col.size_ = codes.size();
+  Segment seg;
+  seg.codes = std::make_shared<const std::vector<int32_t>>(std::move(codes));
+  col.segments_.push_back(std::move(seg));
   col.labels_ = {std::move(label_false), std::move(label_true)};
   return col;
+}
+
+Column Column::WithAppendedNumeric(std::vector<double> tail) const {
+  SISD_CHECK(IsOrderable(kind_));
+  Column col(name_, kind_);
+  col.segments_ = segments_;
+  col.size_ = size_;
+  if (!tail.empty()) {
+    Segment seg;
+    seg.begin = size_;
+    seg.numeric = std::make_shared<const std::vector<double>>(std::move(tail));
+    col.size_ += seg.numeric->size();
+    col.segments_.push_back(std::move(seg));
+  }
+  return col;
+}
+
+Column Column::WithAppendedCodes(std::vector<int32_t> tail,
+                                 std::vector<std::string> new_labels) const {
+  SISD_CHECK(!IsOrderable(kind_));
+  Column col(name_, kind_);
+  col.labels_ = labels_;
+  for (std::string& label : new_labels) col.labels_.push_back(std::move(label));
+  for (int32_t code : tail) {
+    SISD_CHECK(code >= 0 && static_cast<size_t>(code) < col.labels_.size());
+  }
+  col.segments_ = segments_;
+  col.size_ = size_;
+  if (!tail.empty()) {
+    Segment seg;
+    seg.begin = size_;
+    seg.codes = std::make_shared<const std::vector<int32_t>>(std::move(tail));
+    col.size_ += seg.codes->size();
+    col.segments_.push_back(std::move(seg));
+  }
+  return col;
+}
+
+std::vector<double> Column::numeric_values() const {
+  SISD_DCHECK(IsOrderable(kind_));
+  if (segments_.size() == 1) return *segments_.front().numeric;
+  std::vector<double> flat;
+  flat.reserve(size_);
+  for (const Segment& seg : segments_) {
+    flat.insert(flat.end(), seg.numeric->begin(), seg.numeric->end());
+  }
+  return flat;
+}
+
+std::vector<int32_t> Column::codes() const {
+  SISD_DCHECK(!IsOrderable(kind_));
+  if (segments_.size() == 1) return *segments_.front().codes;
+  std::vector<int32_t> flat;
+  flat.reserve(size_);
+  for (const Segment& seg : segments_) {
+    flat.insert(flat.end(), seg.codes->begin(), seg.codes->end());
+  }
+  return flat;
 }
 
 std::string Column::ValueToString(size_t i) const {

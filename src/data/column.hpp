@@ -8,12 +8,22 @@
 ///    bioindicator levels 0/1/3/5);
 ///  - Categorical / Binary: small integer codes plus a label table (the
 ///    search layer emits equality conditions).
+///
+/// Storage is segmented: a column is a sequence of immutable chunks, each
+/// held by `shared_ptr`. Appending rows (`WithAppendedNumeric` /
+/// `WithAppendedCodes`) produces a new column that shares every existing
+/// chunk with its parent and adds one chunk for the tail, so dataset
+/// versions in the catalog cost O(new rows), not O(n) copies. Columns
+/// built by the factories have exactly one segment.
 
 #ifndef SISD_DATA_COLUMN_HPP_
 #define SISD_DATA_COLUMN_HPP_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -61,6 +71,18 @@ class Column {
                        std::string label_false = "0",
                        std::string label_true = "1");
 
+  /// A column sharing every chunk of this one plus one new chunk holding
+  /// `tail` (numeric/ordinal columns only). An empty tail shares storage
+  /// without adding a chunk.
+  Column WithAppendedNumeric(std::vector<double> tail) const;
+
+  /// A column sharing every chunk of this one plus one new chunk holding
+  /// `tail` (categorical/binary columns only). `new_labels` extends the
+  /// label table; tail codes index into labels() + new_labels. Existing
+  /// chunks stay valid because old codes index a prefix of the new table.
+  Column WithAppendedCodes(std::vector<int32_t> tail,
+                           std::vector<std::string> new_labels = {}) const;
+
   /// Attribute name.
   const std::string& name() const { return name_; }
 
@@ -68,22 +90,22 @@ class Column {
   AttributeKind kind() const { return kind_; }
 
   /// Number of rows.
-  size_t size() const {
-    return IsOrderable(kind_) ? numeric_.size() : codes_.size();
-  }
+  size_t size() const { return size_; }
 
   /// Numeric value at row `i` (numeric/ordinal columns only).
   double NumericValue(size_t i) const {
     SISD_DCHECK(IsOrderable(kind_));
-    SISD_DCHECK(i < numeric_.size());
-    return numeric_[i];
+    SISD_DCHECK(i < size_);
+    const Segment& seg = SegmentContaining(i);
+    return (*seg.numeric)[i - seg.begin];
   }
 
   /// Code at row `i` (categorical/binary columns only).
   int32_t Code(size_t i) const {
     SISD_DCHECK(!IsOrderable(kind_));
-    SISD_DCHECK(i < codes_.size());
-    return codes_[i];
+    SISD_DCHECK(i < size_);
+    const Segment& seg = SegmentContaining(i);
+    return (*seg.codes)[i - seg.begin];
   }
 
   /// Number of distinct levels (categorical/binary columns only).
@@ -99,17 +121,13 @@ class Column {
     return labels_[static_cast<size_t>(code)];
   }
 
-  /// All numeric values (numeric/ordinal columns only).
-  const std::vector<double>& numeric_values() const {
-    SISD_DCHECK(IsOrderable(kind_));
-    return numeric_;
-  }
+  /// All numeric values, flattened into one contiguous vector
+  /// (numeric/ordinal columns only). O(n) copy when multi-segment.
+  std::vector<double> numeric_values() const;
 
-  /// All codes (categorical/binary columns only).
-  const std::vector<int32_t>& codes() const {
-    SISD_DCHECK(!IsOrderable(kind_));
-    return codes_;
-  }
+  /// All codes, flattened into one contiguous vector (categorical/binary
+  /// columns only). O(n) copy when multi-segment.
+  std::vector<int32_t> codes() const;
 
   /// Label table (categorical/binary columns only).
   const std::vector<std::string>& labels() const {
@@ -117,18 +135,77 @@ class Column {
     return labels_;
   }
 
+  /// Visits rows [from, n) in order as fn(row, value), chunk-sequential
+  /// (numeric/ordinal columns only).
+  template <typename Fn>
+  void ForEachNumeric(size_t from, Fn&& fn) const {
+    SISD_DCHECK(IsOrderable(kind_));
+    for (const Segment& seg : segments_) {
+      const std::vector<double>& values = *seg.numeric;
+      const size_t end = seg.begin + values.size();
+      if (end <= from) continue;
+      for (size_t i = std::max(from, seg.begin); i < end; ++i) {
+        fn(i, values[i - seg.begin]);
+      }
+    }
+  }
+
+  /// Visits rows [from, n) in order as fn(row, code), chunk-sequential
+  /// (categorical/binary columns only).
+  template <typename Fn>
+  void ForEachCode(size_t from, Fn&& fn) const {
+    SISD_DCHECK(!IsOrderable(kind_));
+    for (const Segment& seg : segments_) {
+      const std::vector<int32_t>& values = *seg.codes;
+      const size_t end = seg.begin + values.size();
+      if (end <= from) continue;
+      for (size_t i = std::max(from, seg.begin); i < end; ++i) {
+        fn(i, values[i - seg.begin]);
+      }
+    }
+  }
+
+  /// Number of storage chunks (1 for factory-built columns).
+  size_t NumSegments() const { return segments_.size(); }
+
+  /// Identity of the backing storage of segment `s` — equal pointers mean
+  /// shared (not copied) storage. For prefix-sharing tests.
+  const void* SegmentIdentity(size_t s) const {
+    SISD_DCHECK(s < segments_.size());
+    return IsOrderable(kind_)
+               ? static_cast<const void*>(segments_[s].numeric.get())
+               : static_cast<const void*>(segments_[s].codes.get());
+  }
+
   /// Renders the value at row `i` as a string regardless of kind.
   std::string ValueToString(size_t i) const;
 
  private:
+  /// One immutable storage chunk covering rows [begin, begin + size).
+  struct Segment {
+    size_t begin = 0;
+    std::shared_ptr<const std::vector<double>> numeric;  // numeric / ordinal
+    std::shared_ptr<const std::vector<int32_t>> codes;   // categorical / binary
+  };
+
   Column(std::string name, AttributeKind kind)
       : name_(std::move(name)), kind_(kind) {}
 
+  const Segment& SegmentContaining(size_t i) const {
+    if (segments_.size() == 1) return segments_.front();
+    // Last segment whose begin is <= i.
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), i,
+        [](size_t row, const Segment& seg) { return row < seg.begin; });
+    SISD_DCHECK(it != segments_.begin());
+    return *(it - 1);
+  }
+
   std::string name_;
   AttributeKind kind_;
-  std::vector<double> numeric_;       // numeric / ordinal
-  std::vector<int32_t> codes_;        // categorical / binary
-  std::vector<std::string> labels_;   // categorical / binary
+  size_t size_ = 0;
+  std::vector<Segment> segments_;
+  std::vector<std::string> labels_;  // categorical / binary
 };
 
 }  // namespace sisd::data

@@ -274,6 +274,45 @@ Result<DataTable> ReadCsvFile(const std::string& path,
   return ReadCsvStream(in, options);
 }
 
+Result<RawCsv> ReadCsvRawText(const std::string& text, char separator) {
+  RawCsv raw;
+  bool have_header = false;
+  size_t line_number = 0;
+  std::string current;
+  const auto consume = [&](const std::string& line) -> Status {
+    ++line_number;
+    if (!have_header) {
+      SISD_ASSIGN_OR_RETURN(header, SplitCsvRecord(line, separator));
+      raw.header = std::move(header);
+      have_header = true;
+      return Status::OK();
+    }
+    if (TrimWhitespace(line).empty()) return Status::OK();  // blank: skip
+    SISD_ASSIGN_OR_RETURN(record, SplitCsvRecord(line, separator));
+    if (record.size() != raw.header.size()) {
+      return Status::IOError(StrFormat("line %zu has %zu fields, expected %zu",
+                                       line_number, record.size(),
+                                       raw.header.size()));
+    }
+    raw.rows.push_back(std::move(record));
+    return Status::OK();
+  };
+  for (char c : text) {
+    if (c == '\n') {
+      if (!current.empty() && current.back() == '\r') current.pop_back();
+      SISD_RETURN_NOT_OK(consume(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {
+    SISD_RETURN_NOT_OK(consume(current));
+  }
+  if (!have_header) return Status::IOError("empty CSV input");
+  return raw;
+}
+
 std::string WriteCsvText(const DataTable& table, char separator) {
   std::string out;
   const std::vector<std::string> names = table.ColumnNames();

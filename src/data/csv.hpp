@@ -61,6 +61,20 @@ Result<DataTable> ReadCsvStream(std::istream& in,
 Result<DataTable> ReadCsvFile(const std::string& path,
                               const CsvOptions& options = CsvOptions());
 
+/// \brief A raw parsed CSV: header plus untyped string cells.
+struct RawCsv {
+  std::vector<std::string> header;
+  /// Data records, each with exactly `header.size()` fields.
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses CSV text into raw string cells: no type inference and no
+/// missing-value row dropping (the append path rejects bad cells loudly
+/// instead of skipping rows). Same record grammar as `ReadCsvText`:
+/// quoted fields, blank lines skipped, trailing '\r' stripped; the first
+/// line is the header.
+Result<RawCsv> ReadCsvRawText(const std::string& text, char separator = ',');
+
 /// \brief Serializes a DataTable to CSV text (RFC-4180-style quoting).
 std::string WriteCsvText(const DataTable& table, char separator = ',');
 

@@ -69,10 +69,38 @@ bool Condition::Matches(const data::DataTable& table, size_t i) const {
 
 Extension Condition::Evaluate(const data::DataTable& table) const {
   Extension out(table.num_rows());
-  for (size_t i = 0; i < table.num_rows(); ++i) {
-    if (Matches(table, i)) out.Insert(i);
-  }
+  EvaluateInto(table, 0, &out);
   return out;
+}
+
+void Condition::EvaluateInto(const data::DataTable& table, size_t from,
+                             Extension* out) const {
+  SISD_CHECK(out != nullptr);
+  SISD_CHECK(out->universe_size() == table.num_rows());
+  const data::Column& col = table.column(attribute);
+  switch (op) {
+    case ConditionOp::kLessEqual:
+      col.ForEachNumeric(from, [&](size_t i, double v) {
+        if (v <= threshold) out->Insert(i);
+      });
+      break;
+    case ConditionOp::kGreaterEqual:
+      col.ForEachNumeric(from, [&](size_t i, double v) {
+        if (v >= threshold) out->Insert(i);
+      });
+      break;
+    case ConditionOp::kEquals:
+      col.ForEachCode(from, [&](size_t i, int32_t code) {
+        if (code == level) out->Insert(i);
+      });
+      break;
+    case ConditionOp::kNotEquals:
+      col.ForEachCode(from, [&](size_t i, int32_t code) {
+        if (code != level) out->Insert(i);
+      });
+      break;
+  }
+  out->DebugCheckTailMasked();
 }
 
 std::string Condition::ToString(const data::DataTable& table) const {

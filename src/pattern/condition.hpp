@@ -54,6 +54,13 @@ struct Condition {
   /// Rows of `table` satisfying the condition, as a bitset.
   Extension Evaluate(const data::DataTable& table) const;
 
+  /// Inserts the matching rows of `table` in `[from, num_rows)` into
+  /// `*out` (universe must already span `table.num_rows()`). The
+  /// incremental condition-pool refresh evaluates only appended rows this
+  /// way, on top of an `Extension::ExtendedTo` copy of the parent bitset.
+  void EvaluateInto(const data::DataTable& table, size_t from,
+                    Extension* out) const;
+
   /// Renders e.g. "PctIlleg >= 0.39" or "a3 = '1'".
   std::string ToString(const data::DataTable& table) const;
 

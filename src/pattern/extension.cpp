@@ -1,5 +1,6 @@
 #include "pattern/extension.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "kernels/kernels.hpp"
@@ -102,6 +103,16 @@ size_t Extension::IntersectionCountAnd(const Extension& a, const Extension& b,
   c.DebugCheckTailMasked();
   return kernels::CountAnd3(a.blocks_.data(), b.blocks_.data(),
                             c.blocks_.data(), a.blocks_.size());
+}
+
+Extension Extension::ExtendedTo(size_t new_n) const {
+  SISD_CHECK(new_n >= n_);
+  DebugCheckTailMasked();
+  Extension out(new_n);
+  std::copy(blocks_.begin(), blocks_.end(), out.blocks_.begin());
+  out.count_ = count_;
+  out.DebugCheckTailMasked();
+  return out;
 }
 
 std::vector<size_t> Extension::ToRows() const {

@@ -79,6 +79,12 @@ class Extension {
     return IntersectionCount(a, b) == 0;
   }
 
+  /// Returns a copy of this extension over a universe grown to `new_n`
+  /// rows (`new_n >= universe_size()`); the new rows are not members.
+  /// Dataset versioning extends memoized condition extensions this way so
+  /// only the appended rows need evaluating.
+  Extension ExtendedTo(size_t new_n) const;
+
   /// Row indices in ascending order.
   std::vector<size_t> ToRows() const;
 

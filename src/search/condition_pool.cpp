@@ -1,5 +1,8 @@
 #include "search/condition_pool.hpp"
 
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "stats/descriptive.hpp"
@@ -21,6 +24,80 @@ struct ExtensionHash {
   }
 };
 
+/// Candidate conditions of column `j`, in canonical enumeration order.
+/// The single definition behind both `Build` paths: the incremental path
+/// is bit-identical to the scratch path because they enumerate (and
+/// filter) the exact same sequence.
+std::vector<pattern::Condition> EnumerateColumnCandidates(
+    const data::Column& col, size_t j, int num_splits,
+    bool include_exclusions) {
+  std::vector<pattern::Condition> candidates;
+  if (data::IsOrderable(col.kind())) {
+    const std::vector<double> splits =
+        stats::QuantileSplitPoints(col.numeric_values(), num_splits);
+    for (double split : splits) {
+      candidates.push_back(pattern::Condition::LessEqual(j, split));
+      candidates.push_back(pattern::Condition::GreaterEqual(j, split));
+    }
+  } else {
+    for (size_t level = 0; level < col.NumLevels(); ++level) {
+      candidates.push_back(
+          pattern::Condition::Equals(j, static_cast<int32_t>(level)));
+    }
+    // Set-exclusion conditions (§II-A) are opt-in (the paper's Cortana
+    // alphabet omits them) and only non-redundant when the attribute has
+    // at least three levels (for binary attributes `!= v` equals
+    // `== !v`).
+    if (include_exclusions && col.NumLevels() >= 3) {
+      for (size_t level = 0; level < col.NumLevels(); ++level) {
+        candidates.push_back(
+            pattern::Condition::NotEquals(j, static_cast<int32_t>(level)));
+      }
+    }
+  }
+  return candidates;
+}
+
+/// Exact identity of a condition for parent-pool lookup. Thresholds
+/// compare by double *bits* (a quantile that moved by any amount is a
+/// different condition; string round-trips are not involved).
+struct ConditionKey {
+  size_t attribute = 0;
+  pattern::ConditionOp op = pattern::ConditionOp::kEquals;
+  uint64_t value_bits = 0;
+
+  bool operator==(const ConditionKey& other) const {
+    return attribute == other.attribute && op == other.op &&
+           value_bits == other.value_bits;
+  }
+};
+
+struct ConditionKeyHash {
+  size_t operator()(const ConditionKey& key) const {
+    size_t h = 1469598103934665603ull;
+    for (uint64_t part : {uint64_t(key.attribute),
+                          uint64_t(static_cast<int>(key.op)),
+                          key.value_bits}) {
+      h ^= size_t(part);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+ConditionKey KeyOf(const pattern::Condition& c) {
+  ConditionKey key;
+  key.attribute = c.attribute;
+  key.op = c.op;
+  if (c.op == pattern::ConditionOp::kEquals ||
+      c.op == pattern::ConditionOp::kNotEquals) {
+    key.value_bits = static_cast<uint64_t>(static_cast<uint32_t>(c.level));
+  } else {
+    key.value_bits = std::bit_cast<uint64_t>(c.threshold);
+  }
+  return key;
+}
+
 }  // namespace
 
 ConditionPool ConditionPool::Build(const data::DataTable& table,
@@ -36,32 +113,8 @@ ConditionPool ConditionPool::Build(const data::DataTable& table,
   // are determined by extensions, and the ranked list dedups intentions).
   std::unordered_set<pattern::Extension, ExtensionHash> seen;
   for (size_t j = 0; j < table.num_columns(); ++j) {
-    const data::Column& col = table.column(j);
-    std::vector<pattern::Condition> candidates;
-    if (data::IsOrderable(col.kind())) {
-      const std::vector<double> splits =
-          stats::QuantileSplitPoints(col.numeric_values(), num_splits);
-      for (double split : splits) {
-        candidates.push_back(pattern::Condition::LessEqual(j, split));
-        candidates.push_back(pattern::Condition::GreaterEqual(j, split));
-      }
-    } else {
-      for (size_t level = 0; level < col.NumLevels(); ++level) {
-        candidates.push_back(
-            pattern::Condition::Equals(j, static_cast<int32_t>(level)));
-      }
-      // Set-exclusion conditions (§II-A) are opt-in (the paper's Cortana
-      // alphabet omits them) and only non-redundant when the attribute has
-      // at least three levels (for binary attributes `!= v` equals
-      // `== !v`).
-      if (include_exclusions && col.NumLevels() >= 3) {
-        for (size_t level = 0; level < col.NumLevels(); ++level) {
-          candidates.push_back(
-              pattern::Condition::NotEquals(j, static_cast<int32_t>(level)));
-        }
-      }
-    }
-    for (const pattern::Condition& c : candidates) {
+    for (const pattern::Condition& c : EnumerateColumnCandidates(
+             table.column(j), j, num_splits, include_exclusions)) {
       pattern::Extension ext = c.Evaluate(table);
       if (ext.count() == 0 || ext.count() == n) continue;  // vacuous
       if (!seen.insert(ext).second) continue;  // bit-identical duplicate
@@ -69,6 +122,53 @@ ConditionPool ConditionPool::Build(const data::DataTable& table,
       pool.extensions_.push_back(std::move(ext));
     }
   }
+  return pool;
+}
+
+ConditionPool ConditionPool::BuildIncremental(const data::DataTable& table,
+                                              const ConditionPool& parent,
+                                              size_t parent_rows,
+                                              int num_splits,
+                                              bool include_exclusions,
+                                              IncrementalPoolStats* stats) {
+  const size_t n = table.num_rows();
+  SISD_CHECK(n >= parent_rows);
+  SISD_CHECK(parent.extensions_.empty() ||
+             parent.extensions_.front().universe_size() == parent_rows);
+  std::unordered_map<ConditionKey, size_t, ConditionKeyHash> parent_index;
+  parent_index.reserve(parent.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    parent_index.emplace(KeyOf(parent.condition(i)), i);
+  }
+
+  IncrementalPoolStats local;
+  ConditionPool pool;
+  std::unordered_set<pattern::Extension, ExtensionHash> seen;
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    for (const pattern::Condition& c : EnumerateColumnCandidates(
+             table.column(j), j, num_splits, include_exclusions)) {
+      pattern::Extension ext(0);
+      auto it = parent_index.find(KeyOf(c));
+      if (it != parent_index.end()) {
+        // Same threshold/level as a parent condition: the parent bitset is
+        // exactly the evaluation over the unchanged prefix (shared column
+        // chunks), so only the appended rows need evaluating.
+        ext = parent.extension(it->second).ExtendedTo(n);
+        c.EvaluateInto(table, parent_rows, &ext);
+        ++local.reused;
+      } else {
+        // Threshold moved (or the condition was filtered from the parent
+        // pool): full evaluation.
+        ext = c.Evaluate(table);
+        ++local.rebuilt;
+      }
+      if (ext.count() == 0 || ext.count() == n) continue;  // vacuous
+      if (!seen.insert(ext).second) continue;  // bit-identical duplicate
+      pool.conditions_.push_back(c);
+      pool.extensions_.push_back(std::move(ext));
+    }
+  }
+  if (stats != nullptr) *stats = local;
   return pool;
 }
 

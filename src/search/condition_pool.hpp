@@ -10,6 +10,14 @@
 /// via `include_exclusions` adds one exclusion per level for categorical
 /// attributes with at least three levels (for binary attributes `!= v`
 /// already equals `== !v`).
+///
+/// For dataset versions that append rows, `BuildIncremental` derives the
+/// child pool from the parent's: conditions whose split threshold (or
+/// level) survives in the child's alphabet extend the parent bitset in
+/// place and evaluate only the appended rows; thresholds that moved (the
+/// child's quantiles shifted) rebuild from scratch. Both paths run the
+/// same candidate enumeration and filters, so the result is bit-identical
+/// to `Build` on the grown table.
 
 #ifndef SISD_SEARCH_CONDITION_POOL_HPP_
 #define SISD_SEARCH_CONDITION_POOL_HPP_
@@ -21,6 +29,12 @@
 #include "pattern/extension.hpp"
 
 namespace sisd::search {
+
+/// \brief How an incremental pool refresh was served, per condition.
+struct IncrementalPoolStats {
+  size_t reused = 0;   ///< extensions extended in place from the parent
+  size_t rebuilt = 0;  ///< extensions evaluated from scratch
+};
 
 /// \brief Precomputed candidate conditions + their extensions.
 class ConditionPool {
@@ -36,6 +50,19 @@ class ConditionPool {
   /// level; the first condition with a given extension wins).
   static ConditionPool Build(const data::DataTable& table, int num_splits = 4,
                              bool include_exclusions = false);
+
+  /// Builds the pool for `table` reusing `parent`, the pool previously
+  /// built (with the same `num_splits`/`include_exclusions`) over the
+  /// first `parent_rows` rows of `table` — i.e. `table` is a row-append
+  /// version of the parent's table. Bit-identical to `Build(table, ...)`;
+  /// `stats` (optional) reports how many conditions were served by
+  /// extending parent bitsets vs rebuilt because their threshold moved.
+  static ConditionPool BuildIncremental(const data::DataTable& table,
+                                        const ConditionPool& parent,
+                                        size_t parent_rows,
+                                        int num_splits = 4,
+                                        bool include_exclusions = false,
+                                        IncrementalPoolStats* stats = nullptr);
 
   /// Number of conditions in the pool.
   size_t size() const { return conditions_.size(); }

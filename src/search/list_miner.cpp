@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "kernels/kernels.hpp"
+#include "pattern/patterns.hpp"
 #include "search/batch_evaluator.hpp"
 
 namespace sisd::search {
@@ -270,6 +271,40 @@ void ReplaySubgroupRule(SubgroupRule rule, SubgroupList* list) {
   list->uncovered.IntersectWith(keep);
   list->total_gain += rule.gain;
   list->rules.push_back(std::move(rule));
+}
+
+Result<SubgroupRule> RederiveSubgroupRule(const data::DataTable& table,
+                                          const linalg::Matrix& targets,
+                                          const si::ListGainParams& gain,
+                                          const pattern::Intention& intention,
+                                          const SubgroupList& list) {
+  pattern::Subgroup subgroup =
+      pattern::Subgroup::FromIntention(table, intention);
+  SubgroupRule rule;
+  rule.intention = intention;
+  rule.extension = std::move(subgroup.extension);
+  rule.captured =
+      pattern::Extension::Intersect(rule.extension, list.uncovered);
+  if (rule.captured.empty()) {
+    return Status::InvalidArgument(
+        "rule captures no uncovered rows on this data");
+  }
+  // Same moments → fit → gain arithmetic the miner runs at append time
+  // (kernel lane contract: self-masked moments equal materialized ones).
+  const std::vector<std::vector<double>> columns = CopyTargetColumns(targets);
+  const size_t dy = columns.size();
+  std::vector<kernels::MaskedMoments> moments(dy);
+  const uint64_t* blocks = rule.captured.blocks().data();
+  const size_t num_blocks = rule.captured.blocks().size();
+  for (size_t j = 0; j < dy; ++j) {
+    moments[j] = kernels::MaskedMomentsAnd(columns[j].data(), blocks, blocks,
+                                           num_blocks);
+  }
+  si::FitLocalNormalModel(moments.data(), dy, gain.variance_floor,
+                          &rule.local);
+  rule.gain = si::ListGainFromMoments(moments.data(), dy, list.default_model,
+                                      intention.size(), gain);
+  return rule;
 }
 
 }  // namespace sisd::search

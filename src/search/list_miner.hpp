@@ -122,6 +122,21 @@ ListMineStats ExtendSubgroupListReference(const data::DataTable& table,
 /// list continues mining bit-identically to one that never stopped.
 void ReplaySubgroupRule(SubgroupRule rule, SubgroupList* list);
 
+/// \brief Rebuilds a rule from its intention against (possibly different)
+/// data: evaluates the extension on `table`, intersects with `list`'s
+/// current uncovered set, refits the local model on the captured rows and
+/// rescores the gain against `list`'s default model. This is how a session
+/// rebased onto an appended dataset version rewrites its list history —
+/// the derived numbers are exactly what `ExtendSubgroupList` would have
+/// produced had it appended this intention on the new data. Fails when the
+/// rule would capture no rows. Does not mutate `list`; follow up with
+/// `ReplaySubgroupRule` to apply the result.
+Result<SubgroupRule> RederiveSubgroupRule(const data::DataTable& table,
+                                          const linalg::Matrix& targets,
+                                          const si::ListGainParams& gain,
+                                          const pattern::Intention& intention,
+                                          const SubgroupList& list);
+
 }  // namespace sisd::search
 
 #endif  // SISD_SEARCH_LIST_MINER_HPP_

@@ -246,6 +246,23 @@ serialize::JsonValue EncodeMetrics(const ServeMetrics& metrics,
                                   ? 0.0
                                   : double(stats.pool_hits) /
                                         double(pool_probes)));
+    // Version-chain gauges: how many live entries are appended versions,
+    // how many prefix bytes the chains share instead of copying, and how
+    // the append-time pool refreshes split between extended-in-place and
+    // rebuilt condition extensions.
+    cat.Set("appends", JsonValue::Int(static_cast<int64_t>(stats.appends)));
+    cat.Set("versions",
+            JsonValue::Int(static_cast<int64_t>(stats.versions)));
+    cat.Set("shared_bytes",
+            JsonValue::Int(static_cast<int64_t>(stats.shared_bytes)));
+    cat.Set("pool_refreshes",
+            JsonValue::Int(static_cast<int64_t>(stats.pool_refreshes)));
+    cat.Set("pool_conditions_reused",
+            JsonValue::Int(
+                static_cast<int64_t>(stats.pool_conditions_reused)));
+    cat.Set("pool_conditions_rebuilt",
+            JsonValue::Int(
+                static_cast<int64_t>(stats.pool_conditions_rebuilt)));
     out.Set("catalog", std::move(cat));
   }
   return out;

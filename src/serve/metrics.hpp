@@ -73,10 +73,10 @@ class ServeMetrics {
   /// lines that never parsed into a request) lands in the final "invalid"
   /// slot. Order is the encoding order, so `metrics` output is stable.
   static constexpr const char* kVerbs[] = {
-      "open",       "mine",         "assimilate",   "history",
-      "export",     "save",         "evict",        "close",
-      "stats",      "dataset_load", "dataset_list", "dataset_drop",
-      "metrics",    "invalid",
+      "open",           "mine",         "assimilate",   "history",
+      "export",         "save",         "evict",        "close",
+      "stats",          "dataset_load", "dataset_list", "dataset_drop",
+      "dataset_append", "rebase",       "metrics",      "invalid",
   };
   static constexpr size_t kNumVerbs = sizeof(kVerbs) / sizeof(kVerbs[0]);
 

@@ -6,6 +6,7 @@
 #include "catalog/dataset_catalog.hpp"
 #include "catalog/fingerprint.hpp"
 #include "common/strings.hpp"
+#include "data/append.hpp"
 #include "data/csv.hpp"
 #include "datagen/scenarios.hpp"
 
@@ -392,6 +393,17 @@ JsonValue EncodeCatalogEntry(const catalog::CatalogEntryInfo& info) {
   out.Set("targets", JsonValue::Int(static_cast<int64_t>(info.targets)));
   out.Set("pools", JsonValue::Int(static_cast<int64_t>(info.pools)));
   out.Set("sessions", JsonValue::Int(static_cast<int64_t>(info.sessions)));
+  // Version-chain fields, present only for appended versions so root-only
+  // catalogs keep their exact historical listing bytes.
+  if (info.parent_fingerprint != 0) {
+    out.Set("parent_fingerprint", JsonValue::Str(catalog::FingerprintToHex(
+                                      info.parent_fingerprint)));
+    out.Set("row_offset",
+            JsonValue::Int(static_cast<int64_t>(info.row_offset)));
+    out.Set("shared_bytes",
+            JsonValue::Int(static_cast<int64_t>(info.shared_bytes)));
+    out.Set("depth", JsonValue::Int(static_cast<int64_t>(info.depth)));
+  }
   return out;
 }
 
@@ -441,6 +453,127 @@ Result<JsonValue> DoDatasetLoad(SessionManager& manager,
 
 Result<JsonValue> DoDatasetList(SessionManager& manager) {
   return EncodeCatalogListing(*manager.catalog());
+}
+
+/// Parses the `rows` param of `dataset_append`: an array of row arrays
+/// whose cells are numbers (numeric/ordinal values, kept bit-exact) or
+/// strings (categorical labels, or numeric text).
+Result<std::vector<std::vector<data::AppendCell>>> ParseAppendRows(
+    const JsonValue& rows_json) {
+  if (!rows_json.is_array() || rows_json.size() == 0) {
+    return Status::InvalidArgument(
+        "'rows' must be a non-empty array of row arrays");
+  }
+  std::vector<std::vector<data::AppendCell>> rows;
+  rows.reserve(rows_json.size());
+  for (const JsonValue& row_json : rows_json.items()) {
+    if (!row_json.is_array()) {
+      return Status::InvalidArgument("each row must be an array of cells");
+    }
+    std::vector<data::AppendCell> row;
+    row.reserve(row_json.size());
+    for (const JsonValue& cell : row_json.items()) {
+      if (cell.type() == JsonValue::Type::kString) {
+        SISD_ASSIGN_OR_RETURN(text, cell.GetString());
+        row.push_back(data::AppendCell::Text(std::move(text)));
+      } else {
+        SISD_ASSIGN_OR_RETURN(number, cell.GetDouble());
+        row.push_back(data::AppendCell::Number(number));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<JsonValue> DoDatasetAppend(SessionManager& manager,
+                                  const ProtocolRequest& request) {
+  SISD_ASSIGN_OR_RETURN(parent, ParamString(request, "dataset"));
+  if (!parent.has_value() || parent->empty()) {
+    return Status::InvalidArgument(
+        "dataset_append needs 'dataset': the parent name or fingerprint");
+  }
+  SISD_ASSIGN_OR_RETURN(csv_text, ParamString(request, "csv_text"));
+  const JsonValue* rows_json = request.params.Find("rows");
+  const JsonValue* columns_json = request.params.Find("columns");
+  if (csv_text.has_value() == (rows_json != nullptr)) {
+    return Status::InvalidArgument(
+        "dataset_append needs exactly one of 'csv_text' or "
+        "'rows' (+ 'columns')");
+  }
+
+  catalog::AppendBuilder builder;
+  if (csv_text.has_value()) {
+    builder = [&csv_text](const data::Dataset& p) {
+      return data::AppendRowsFromCsvText(p, *csv_text);
+    };
+  } else {
+    if (columns_json == nullptr || !columns_json->is_array()) {
+      return Status::InvalidArgument(
+          "'rows' appends need 'columns': the array of column names the "
+          "row cells follow");
+    }
+    std::vector<std::string> columns;
+    columns.reserve(columns_json->size());
+    for (const JsonValue& item : columns_json->items()) {
+      SISD_ASSIGN_OR_RETURN(column, item.GetString());
+      columns.push_back(std::move(column));
+    }
+    SISD_ASSIGN_OR_RETURN(rows, ParseAppendRows(*rows_json));
+    builder = [columns = std::move(columns),
+               rows = std::move(rows)](const data::Dataset& p) {
+      return data::AppendRowsFromCells(p, columns, rows);
+    };
+  }
+  SISD_ASSIGN_OR_RETURN(
+      outcome,
+      manager.catalog()->Append(*parent, builder, /*pin=*/false,
+                                /*retain=*/true));
+  JsonValue result = JsonValue::Object();
+  result.Set("name", JsonValue::Str(outcome.dataset.dataset->name));
+  result.Set("fingerprint", JsonValue::Str(catalog::FingerprintToHex(
+                                outcome.dataset.fingerprint)));
+  result.Set("parent_fingerprint", JsonValue::Str(catalog::FingerprintToHex(
+                                       outcome.parent_fingerprint)));
+  result.Set("rows", JsonValue::Int(static_cast<int64_t>(
+                         outcome.dataset.dataset->num_rows())));
+  result.Set("row_offset",
+             JsonValue::Int(static_cast<int64_t>(outcome.row_offset)));
+  result.Set("appended_rows",
+             JsonValue::Int(static_cast<int64_t>(outcome.appended_rows)));
+  result.Set("reused", JsonValue::Bool(outcome.reused));
+  result.Set("pools_refreshed",
+             JsonValue::Int(static_cast<int64_t>(outcome.pools_refreshed)));
+  return result;
+}
+
+Result<JsonValue> DoRebase(SessionManager& manager,
+                           const ProtocolRequest& request) {
+  SISD_RETURN_NOT_OK(RequireSession(request));
+  SISD_ASSIGN_OR_RETURN(dataset, ParamString(request, "dataset"));
+  if (!dataset.has_value() || dataset->empty()) {
+    return Status::InvalidArgument(
+        "rebase needs 'dataset': the appended version to move the session "
+        "onto");
+  }
+  SISD_ASSIGN_OR_RETURN(if_generation, ParamGeneration(request));
+  SISD_ASSIGN_OR_RETURN(
+      rebased, manager.Rebase(request.session, *dataset, if_generation));
+  JsonValue result = EncodeSessionInfo(rebased.info);
+  result.Set("fingerprint",
+             JsonValue::Str(catalog::FingerprintToHex(rebased.fingerprint)));
+  result.Set("previous_fingerprint",
+             JsonValue::Str(catalog::FingerprintToHex(
+                 rebased.previous_fingerprint)));
+  result.Set("appended_rows",
+             JsonValue::Int(static_cast<int64_t>(rebased.appended_rows)));
+  result.Set("replayed_iterations",
+             JsonValue::Int(static_cast<int64_t>(
+                 rebased.replayed_iterations)));
+  result.Set("replayed_rules",
+             JsonValue::Int(static_cast<int64_t>(rebased.replayed_rules)));
+  result.Set("reused", JsonValue::Bool(rebased.reused));
+  return result;
 }
 
 Result<JsonValue> DoDatasetDrop(SessionManager& manager,
@@ -627,10 +760,15 @@ ProtocolResponse HandleRequest(SessionManager& manager,
     if (request.verb == "dataset_drop") {
       return DoDatasetDrop(manager, request);
     }
+    if (request.verb == "dataset_append") {
+      return DoDatasetAppend(manager, request);
+    }
+    if (request.verb == "rebase") return DoRebase(manager, request);
     return Status::InvalidArgument(
         "unknown verb '" + request.verb +
         "' (expected open|mine|mine_list|assimilate|history|export|save|"
-        "evict|close|stats|metrics|dataset_load|dataset_list|dataset_drop)");
+        "evict|close|stats|metrics|dataset_load|dataset_list|dataset_drop|"
+        "dataset_append|rebase)");
   }();
   if (!result.ok()) {
     return serialize::MakeErrorResponse(request, result.status());

@@ -428,6 +428,59 @@ Result<MineListOutcome> SessionManager::MineList(
   return outcome;
 }
 
+Result<RebaseInfo> SessionManager::Rebase(
+    const std::string& name, const std::string& dataset_spec,
+    std::optional<uint64_t> if_generation) {
+  SISD_ASSIGN_OR_RETURN(locked, Lock(name));
+  SISD_RETURN_NOT_OK(CheckGeneration(locked.entry->generation,
+                                     if_generation));
+  core::MiningSession& session = locked.session();
+  // Every manager session is catalog-opened, so it always has a pin.
+  SISD_CHECK(locked.entry->pinned_fingerprint.has_value());
+  const uint64_t current_fp = *locked.entry->pinned_fingerprint;
+
+  SISD_ASSIGN_OR_RETURN(
+      target, catalog_->FindByNameOrFingerprint(dataset_spec, /*pin=*/true));
+  RebaseInfo out;
+  out.previous_fingerprint = current_fp;
+  out.fingerprint = target.fingerprint;
+  if (target.fingerprint == current_fp) {
+    catalog_->Unpin(target.fingerprint);
+    out.reused = true;
+    out.info = InfoLocked(*locked.entry);
+    return out;
+  }
+  if (!catalog_->IsDescendantOf(target.fingerprint, current_fp)) {
+    catalog_->Unpin(target.fingerprint);
+    return Status::InvalidArgument(
+        "dataset '" + dataset_spec +
+        "' is not an appended version of the session's current dataset");
+  }
+  // The pool comes from the artifact cache — `DatasetCatalog::Append` has
+  // already refreshed the parent's pools incrementally for this version,
+  // so this is a cache hit, not a scratch build.
+  std::shared_ptr<const search::ConditionPool> pool = catalog_->PoolFor(
+      target, session.config().search.num_split_points,
+      session.config().search.include_exclusions);
+  Result<core::RebaseOutcome> rebased =
+      session.Rebase(target.dataset, std::move(pool), target.ref());
+  if (!rebased.ok()) {
+    catalog_->Unpin(target.fingerprint);
+    return rebased.status();
+  }
+  // The target pin transfers to the entry; the old version's pin drops.
+  catalog_->Unpin(current_fp);
+  locked.entry->pinned_fingerprint = target.fingerprint;
+  ++locked.entry->generation;
+  out.appended_rows = rebased.Value().appended_rows;
+  out.replayed_iterations = rebased.Value().replayed_iterations;
+  out.replayed_rules = rebased.Value().replayed_rules;
+  out.info = InfoLocked(*locked.entry);
+  locked.lock.unlock();
+  MaybeEvict();
+  return out;
+}
+
 Result<MineOutcome> SessionManager::Assimilate(
     const std::string& name, const IntentionBuilder& builder,
     std::optional<uint64_t> if_generation) {

@@ -142,6 +142,19 @@ struct SaveOutcome {
   size_t bytes = 0;
 };
 
+/// \brief Result of a `Rebase` call.
+struct RebaseInfo {
+  SessionInfo info;  ///< session shape after the rebase (new generation)
+  uint64_t previous_fingerprint = 0;  ///< dataset mined before the call
+  uint64_t fingerprint = 0;           ///< dataset mined after the call
+  size_t appended_rows = 0;
+  size_t replayed_iterations = 0;
+  size_t replayed_rules = 0;
+  /// The session was already on the requested version (no-op; the
+  /// generation did not bump).
+  bool reused = false;
+};
+
 /// \brief Manager-wide counters (logical, deterministic for a given
 /// request script — no wall-clock fields).
 struct ManagerStats {
@@ -213,6 +226,19 @@ class SessionManager {
   Result<MineOutcome> Assimilate(const std::string& name,
                                  const IntentionBuilder& builder,
                                  std::optional<uint64_t> if_generation);
+
+  /// Moves the session onto `dataset_spec` — a registered name or
+  /// fingerprint that must be an *appended version* of the dataset the
+  /// session currently mines (a descendant in the catalog's version
+  /// chain; InvalidArgument otherwise). The background model is rebased
+  /// through the rank-one replay path (`core::MiningSession::Rebase`),
+  /// the session's catalog pin moves to the new version, and the
+  /// generation bumps once. Rebasing onto the version the session already
+  /// mines is a no-op (`reused`, no generation bump). Same
+  /// `if_generation` contract as `Mine`.
+  Result<RebaseInfo> Rebase(const std::string& name,
+                            const std::string& dataset_spec,
+                            std::optional<uint64_t> if_generation);
 
   /// The full iteration history as transport summaries.
   Result<std::vector<IterationSummary>> History(const std::string& name);

@@ -1,0 +1,325 @@
+// The Rebase determinism contract: a session moved onto an appended
+// dataset version must be *bit-identical* to a fresh session on the grown
+// dataset that assimilated the same history — same snapshots, same next
+// mining step — for any thread count. Also: the version chain is recorded
+// and serialized only in dataset_ref snapshots, subgroup-list state is
+// re-derived on the grown rows, and every error path leaves the session
+// untouched (strong exception safety).
+
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/dataset_catalog.hpp"
+#include "data/append.hpp"
+#include "datagen/scenarios.hpp"
+#include "pattern/patterns.hpp"
+#include "search/condition_pool.hpp"
+
+namespace sisd::core {
+namespace {
+
+MinerConfig FastConfig(int threads = 1) {
+  MinerConfig config;
+  config.search.beam_width = 8;
+  config.search.max_depth = 2;
+  config.search.top_k = 20;
+  config.search.min_coverage = 5;
+  config.search.num_threads = threads;
+  return config;
+}
+
+/// Appends the first `rows` rows of `parent` back onto it (typed through
+/// the cell entry point so every column kind coerces uniformly).
+Result<data::Dataset> GrowBySlice(const data::Dataset& parent,
+                                  size_t rows) {
+  std::vector<std::string> columns;
+  for (size_t j = 0; j < parent.num_descriptions(); ++j) {
+    columns.push_back(parent.descriptions.column(j).name());
+  }
+  for (const std::string& target : parent.target_names) {
+    columns.push_back(target);
+  }
+  std::vector<std::vector<data::AppendCell>> cells;
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<data::AppendCell> row;
+    for (size_t j = 0; j < parent.num_descriptions(); ++j) {
+      const data::Column& column = parent.descriptions.column(j);
+      if (data::IsOrderable(column.kind())) {
+        row.push_back(data::AppendCell::Number(column.NumericValue(i)));
+      } else {
+        row.push_back(data::AppendCell::Text(column.Label(column.Code(i))));
+      }
+    }
+    for (size_t t = 0; t < parent.num_targets(); ++t) {
+      row.push_back(data::AppendCell::Number(parent.targets(i, t)));
+    }
+    cells.push_back(std::move(row));
+  }
+  return data::AppendRowsFromCells(parent, columns, cells);
+}
+
+catalog::AppendBuilder SliceBuilder(size_t rows) {
+  return [rows](const data::Dataset& parent) {
+    return GrowBySlice(parent, rows);
+  };
+}
+
+TEST(RebaseTest, RebasedSessionEqualsFreshSessionWithSameHistory) {
+  std::vector<std::string> reference_history;
+  for (const int threads : {1, 2, 4}) {
+    catalog::DatasetCatalog catalog;
+    Result<catalog::PinnedDataset> root = catalog.Intern(
+        datagen::MakeScenarioDataset("synthetic").Value(), /*pin=*/false,
+        /*retain=*/true);
+    ASSERT_TRUE(root.ok());
+    const MinerConfig config = FastConfig(threads);
+    std::shared_ptr<const search::ConditionPool> root_pool =
+        catalog.PoolFor(root.Value(), config.search.num_split_points,
+                        config.search.include_exclusions);
+
+    // Path A: mine on the root, rebase, mine on.
+    Result<MiningSession> a = MiningSession::Create(
+        root.Value().dataset, config, root_pool, root.Value().ref());
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(a.Value().MineNext().ok());
+    ASSERT_TRUE(a.Value().MineNext().ok());
+    std::vector<pattern::Intention> mined;
+    for (const IterationResult& iteration : a.Value().history()) {
+      mined.push_back(iteration.location.pattern.subgroup.intention);
+    }
+
+    Result<catalog::AppendOutcome> appended = catalog.Append(
+        root.Value().dataset->name, SliceBuilder(9), /*pin=*/false,
+        /*retain=*/true);
+    ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+    std::shared_ptr<const search::ConditionPool> child_pool =
+        catalog.PoolFor(appended.Value().dataset,
+                        config.search.num_split_points,
+                        config.search.include_exclusions);
+
+    Result<RebaseOutcome> rebased = a.Value().Rebase(
+        appended.Value().dataset.dataset, child_pool,
+        appended.Value().dataset.ref());
+    ASSERT_TRUE(rebased.ok()) << rebased.status().ToString();
+    EXPECT_EQ(rebased.Value().appended_rows, 9u);
+    EXPECT_EQ(rebased.Value().replayed_iterations, 2u);
+    EXPECT_EQ(rebased.Value().replayed_rules, 0u);
+    ASSERT_TRUE(a.Value().MineNext().ok());
+    ASSERT_TRUE(a.Value().MineNext().ok());
+
+    // Path B: a fresh session on the grown dataset, told the same
+    // history, mining the same two extra steps.
+    Result<MiningSession> b = MiningSession::Create(
+        appended.Value().dataset.dataset, config, child_pool,
+        appended.Value().dataset.ref());
+    ASSERT_TRUE(b.ok());
+    for (const pattern::Intention& intention : mined) {
+      ASSERT_TRUE(b.Value().AssimilateIntention(intention).ok());
+    }
+    ASSERT_TRUE(b.Value().MineNext().ok());
+    ASSERT_TRUE(b.Value().MineNext().ok());
+
+    // Inline snapshots are self-contained: byte equality is full state
+    // equality (model, history, config, dataset).
+    const std::string snapshot_a = a.Value().SaveToString();
+    const std::string snapshot_b = b.Value().SaveToString();
+    EXPECT_EQ(snapshot_a, snapshot_b)
+        << "rebase must be indistinguishable from fresh-open + replay "
+        << "(threads=" << threads << ")";
+
+    // And the mined results are invariant across thread counts. (Snapshot
+    // bytes can't be: they serialize `num_threads` with the config.)
+    std::vector<std::string> history;
+    for (const IterationResult& iteration : a.Value().history()) {
+      history.push_back(
+          iteration.location.pattern.subgroup.intention
+              .CanonicalSignature());
+    }
+    if (reference_history.empty()) {
+      reference_history = history;
+    } else {
+      EXPECT_EQ(history, reference_history) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RebaseTest, VersionChainIsRecordedAndOnlyInRefSnapshots) {
+  catalog::DatasetCatalog catalog;
+  Result<catalog::PinnedDataset> root = catalog.Intern(
+      datagen::MakeScenarioDataset("synthetic").Value(), false, true);
+  ASSERT_TRUE(root.ok());
+  const size_t root_rows = root.Value().dataset->num_rows();
+  const MinerConfig config = FastConfig();
+  std::shared_ptr<const search::ConditionPool> root_pool =
+      catalog.PoolFor(root.Value(), config.search.num_split_points, false);
+  Result<MiningSession> session = MiningSession::Create(
+      root.Value().dataset, config, root_pool, root.Value().ref());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.Value().MineNext().ok());
+  EXPECT_TRUE(session.Value().version_chain().empty());
+
+  Result<catalog::AppendOutcome> appended = catalog.Append(
+      root.Value().dataset->name, SliceBuilder(4), false, true);
+  ASSERT_TRUE(appended.ok());
+  ASSERT_TRUE(session.Value()
+                  .Rebase(appended.Value().dataset.dataset,
+                          catalog.PoolFor(appended.Value().dataset,
+                                          config.search.num_split_points,
+                                          false),
+                          appended.Value().dataset.ref())
+                  .ok());
+
+  ASSERT_EQ(session.Value().version_chain().size(), 1u);
+  EXPECT_EQ(session.Value().version_chain()[0].fingerprint,
+            root.Value().fingerprint);
+  EXPECT_EQ(session.Value().version_chain()[0].rows, root_rows);
+
+  // Inline snapshots stay self-contained and chain-free (schema 1,
+  // restorable anywhere); ref snapshots carry the additive field.
+  const std::string inline_snapshot = session.Value().SaveToString();
+  EXPECT_EQ(inline_snapshot.find("version_chain"), std::string::npos);
+  const std::string ref_snapshot =
+      session.Value().SaveToString(SnapshotForm::kDatasetRef);
+  EXPECT_NE(ref_snapshot.find("version_chain"), std::string::npos);
+
+  // Restoring the ref snapshot through the catalog preserves the chain
+  // and continues byte-identically.
+  Result<MiningSession> restored =
+      MiningSession::RestoreFromString(ref_snapshot, &catalog);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored.Value().version_chain().size(), 1u);
+  EXPECT_EQ(restored.Value().version_chain()[0].fingerprint,
+            root.Value().fingerprint);
+  ASSERT_TRUE(restored.Value().MineNext().ok());
+  ASSERT_TRUE(session.Value().MineNext().ok());
+  EXPECT_EQ(restored.Value().SaveToString(), session.Value().SaveToString());
+}
+
+TEST(RebaseTest, SubgroupListIsRederivedOnTheGrownRows) {
+  catalog::DatasetCatalog catalog;
+  Result<catalog::PinnedDataset> root = catalog.Intern(
+      datagen::MakeScenarioDataset("synthetic").Value(), false, true);
+  ASSERT_TRUE(root.ok());
+  const MinerConfig config = FastConfig();
+  Result<MiningSession> session = MiningSession::Create(
+      root.Value().dataset, config,
+      catalog.PoolFor(root.Value(), config.search.num_split_points, false),
+      root.Value().ref());
+  ASSERT_TRUE(session.ok());
+  Result<ListMineResult> mined = session.Value().MineList(2);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  ASSERT_NE(session.Value().subgroup_list(), nullptr);
+  const size_t num_rules = session.Value().subgroup_list()->rules.size();
+  ASSERT_GT(num_rules, 0u);
+  std::vector<pattern::Intention> rule_intentions;
+  for (const search::SubgroupRule& rule :
+       session.Value().subgroup_list()->rules) {
+    rule_intentions.push_back(rule.intention);
+  }
+
+  Result<catalog::AppendOutcome> appended = catalog.Append(
+      root.Value().dataset->name, SliceBuilder(11), false, true);
+  ASSERT_TRUE(appended.ok());
+  Result<RebaseOutcome> rebased = session.Value().Rebase(
+      appended.Value().dataset.dataset,
+      catalog.PoolFor(appended.Value().dataset,
+                      config.search.num_split_points, false),
+      appended.Value().dataset.ref());
+  ASSERT_TRUE(rebased.ok()) << rebased.status().ToString();
+  EXPECT_EQ(rebased.Value().replayed_rules, num_rules);
+
+  const search::SubgroupList* list = session.Value().subgroup_list();
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->rules.size(), num_rules);
+  const size_t grown_rows = appended.Value().dataset.dataset->num_rows();
+  size_t captured_total = 0;
+  for (size_t i = 0; i < num_rules; ++i) {
+    const search::SubgroupRule& rule = list->rules[i];
+    EXPECT_EQ(rule.intention.CanonicalSignature(),
+              rule_intentions[i].CanonicalSignature())
+        << "rule " << i << " intention must survive the rebase";
+    // Extensions now span the grown rows.
+    EXPECT_EQ(rule.extension.universe_size(), grown_rows);
+    EXPECT_EQ(pattern::Extension::Intersect(rule.captured, rule.extension)
+                  .count(),
+              rule.captured.count())
+        << "captured rows are a subset of the rule's extension";
+    captured_total += rule.captured.count();
+  }
+  EXPECT_EQ(list->uncovered.count(), grown_rows - captured_total);
+
+  // Snapshots stay stable through a save/restore round trip.
+  const std::string snapshot = session.Value().SaveToString();
+  Result<MiningSession> restored =
+      MiningSession::RestoreFromString(snapshot, nullptr);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.Value().SaveToString(), snapshot);
+}
+
+TEST(RebaseTest, ErrorPathsLeaveTheSessionUnchanged) {
+  catalog::DatasetCatalog catalog;
+  Result<catalog::PinnedDataset> root = catalog.Intern(
+      datagen::MakeScenarioDataset("synthetic").Value(), false, true);
+  ASSERT_TRUE(root.ok());
+  const MinerConfig config = FastConfig();
+  std::shared_ptr<const search::ConditionPool> pool =
+      catalog.PoolFor(root.Value(), config.search.num_split_points, false);
+  Result<MiningSession> session = MiningSession::Create(
+      root.Value().dataset, config, pool, root.Value().ref());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.Value().MineNext().ok());
+  const std::string before = session.Value().SaveToString();
+
+  // Fewer rows than the session's dataset: not an append. A session over
+  // the grown dataset cannot rebase back onto the root.
+  {
+    Result<data::Dataset> grown = GrowBySlice(*root.Value().dataset, 3);
+    ASSERT_TRUE(grown.ok());
+    Result<MiningSession> on_grown = MiningSession::Create(
+        std::move(grown).MoveValue(), config);
+    ASSERT_TRUE(on_grown.ok());
+    Result<RebaseOutcome> r = on_grown.Value().Rebase(
+        root.Value().dataset, pool, std::nullopt);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // A different target space is rejected with a pointed message.
+  {
+    Result<data::Dataset> grown =
+        GrowBySlice(*root.Value().dataset, 3);
+    ASSERT_TRUE(grown.ok());
+    grown.Value().target_names[0] = "renamed";
+    Result<RebaseOutcome> r = session.Value().Rebase(
+        std::make_shared<data::Dataset>(std::move(grown).MoveValue()),
+        pool, std::nullopt);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("target space"),
+              std::string::npos);
+  }
+
+  // Null dataset / null pool are InvalidArgument, not crashes.
+  EXPECT_EQ(session.Value()
+                .Rebase(nullptr, pool, std::nullopt)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Value()
+                .Rebase(root.Value().dataset, nullptr, std::nullopt)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Strong exception safety: nothing moved.
+  EXPECT_EQ(session.Value().SaveToString(), before);
+  EXPECT_TRUE(session.Value().version_chain().empty());
+  ASSERT_TRUE(session.Value().MineNext().ok());
+}
+
+}  // namespace
+}  // namespace sisd::core

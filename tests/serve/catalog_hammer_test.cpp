@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/dataset_catalog.hpp"
+#include "data/append.hpp"
 #include "datagen/scenarios.hpp"
 #include "serve/session_manager.hpp"
 
@@ -102,6 +103,166 @@ TEST(CatalogHammerTest, ConcurrentOpenDropMineStorm) {
   // All sessions closed: no pins left, so a final drop must succeed.
   EXPECT_EQ(manager.Stats().sessions, 0u);
   EXPECT_TRUE(manager.catalog()->Drop("hammer").ok());
+  EXPECT_EQ(manager.catalog()->size(), 0u);
+}
+
+// The append-era storm: appenders grow the dataset (dedup racing dedup),
+// miners open whichever version resolves and rebase toward the newest
+// one, while a dropper recycles the root. Run under TSan this is the
+// data-race acceptance for the version-chain machinery; under plain
+// builds it asserts the interleaving invariants:
+//  - appends either register a version, dedup onto one, or lose the
+//    parent to the dropper (NotFound) — never anything else;
+//  - a rebase either moves the session onto a live descendant, reports
+//    the no-op reuse, loses the race (NotFound/Conflict), or correctly
+//    refuses a non-descendant after the root was recycled;
+//  - the catalog ends balanced: every pin released once sessions close.
+TEST(CatalogHammerTest, ConcurrentAppendOpenRebaseStorm) {
+  SessionManager manager(ServeConfig{});
+  data::Dataset seed = datagen::MakeScenarioDataset("synthetic").Value();
+  seed.name = "hammer";
+  Result<catalog::PinnedDataset> loaded = manager.catalog()->Intern(
+      std::move(seed), /*pin=*/false, /*retain=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The appended rows re-feed a prefix of the dataset through the cell
+  // entry point; distinct `rows` values produce distinct versions.
+  const auto slice_builder = [](size_t rows) {
+    return [rows](const data::Dataset& parent) -> Result<data::Dataset> {
+      std::vector<std::string> columns;
+      for (size_t j = 0; j < parent.num_descriptions(); ++j) {
+        columns.push_back(parent.descriptions.column(j).name());
+      }
+      for (const std::string& target : parent.target_names) {
+        columns.push_back(target);
+      }
+      std::vector<std::vector<data::AppendCell>> cells;
+      for (size_t i = 0; i < rows; ++i) {
+        std::vector<data::AppendCell> row;
+        for (size_t j = 0; j < parent.num_descriptions(); ++j) {
+          const data::Column& column = parent.descriptions.column(j);
+          if (data::IsOrderable(column.kind())) {
+            row.push_back(
+                data::AppendCell::Number(column.NumericValue(i)));
+          } else {
+            row.push_back(
+                data::AppendCell::Text(column.Label(column.Code(i))));
+          }
+        }
+        for (size_t t = 0; t < parent.num_targets(); ++t) {
+          row.push_back(data::AppendCell::Number(parent.targets(i, t)));
+        }
+        cells.push_back(std::move(row));
+      }
+      return data::AppendRowsFromCells(parent, columns, cells);
+    };
+  };
+
+  constexpr int kMiners = 2;
+  constexpr int kAppenders = 2;
+  constexpr int kRounds = 6;
+  std::atomic<int> appended{0};
+  std::atomic<int> rebased{0};
+  std::atomic<int> mined{0};
+  std::atomic<bool> failure{false};
+  // Latest version name any appender registered (racy by design; a stale
+  // read just makes the rebase a no-op or a lost race).
+  std::mutex latest_mu;
+  std::string latest = "hammer";
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kAppenders; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < kRounds; ++round) {
+        Result<catalog::AppendOutcome> outcome = manager.catalog()->Append(
+            "hammer", slice_builder(1 + (t + round) % 4), /*pin=*/false,
+            /*retain=*/true);
+        if (outcome.ok()) {
+          appended.fetch_add(1);
+          std::lock_guard<std::mutex> lock(latest_mu);
+          latest = outcome.Value().dataset.dataset->name;
+        } else if (outcome.status().code() != StatusCode::kNotFound) {
+          failure.store(true);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int t = 0; t < kMiners; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < kRounds; ++round) {
+        std::string name = "r";
+        name += std::to_string(t);
+        name += "_";
+        name += std::to_string(round);
+        Result<SessionInfo> opened =
+            manager.OpenRef(name, "hammer", HammerConfig(2 + t));
+        if (!opened.ok()) {
+          if (opened.status().code() != StatusCode::kNotFound) {
+            failure.store(true);
+          }
+          continue;
+        }
+        std::string target;
+        {
+          std::lock_guard<std::mutex> lock(latest_mu);
+          target = latest;
+        }
+        Result<RebaseInfo> moved =
+            manager.Rebase(name, target, std::nullopt);
+        if (moved.ok()) {
+          rebased.fetch_add(1);
+        } else if (moved.status().code() != StatusCode::kNotFound &&
+                   moved.status().code() != StatusCode::kConflict &&
+                   moved.status().code() != StatusCode::kInvalidArgument) {
+          // InvalidArgument covers the recycled root: after a drop and
+          // re-intern, `latest` can name a version of the *old* chain,
+          // which is legitimately not a descendant anymore.
+          failure.store(true);
+        }
+        Result<MineOutcome> outcome = manager.Mine(name, 1, std::nullopt);
+        if (outcome.ok()) {
+          mined.fetch_add(1);
+        } else if (outcome.status().code() != StatusCode::kNotFound) {
+          failure.store(true);
+        }
+        if (!manager.Close(name, /*save=*/false, "").ok()) {
+          failure.store(true);
+        }
+      }
+    });
+  }
+  // Dropper: recycles the root under the appenders' and miners' feet.
+  threads.emplace_back([&]() {
+    for (int round = 0; round < kRounds; ++round) {
+      const Status drop = manager.catalog()->Drop("hammer");
+      if (drop.ok()) {
+        data::Dataset again =
+            datagen::MakeScenarioDataset("synthetic").Value();
+        again.name = "hammer";
+        if (!manager.catalog()
+                 ->Intern(std::move(again), /*pin=*/false, /*retain=*/true)
+                 .ok()) {
+          failure.store(true);
+        }
+      } else if (drop.code() != StatusCode::kConflict &&
+                 drop.code() != StatusCode::kNotFound) {
+        failure.store(true);
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_FALSE(failure.load());
+  EXPECT_GT(appended.load(), 0) << "storm never appended once";
+  EXPECT_GT(mined.load(), 0) << "storm never mined once";
+  EXPECT_EQ(manager.Stats().sessions, 0u);
+  // No pins left: the whole surviving chain must drop cleanly.
+  for (const catalog::CatalogEntryInfo& info :
+       manager.catalog()->List()) {
+    EXPECT_TRUE(manager.catalog()->Drop(info.name).ok()) << info.name;
+  }
   EXPECT_EQ(manager.catalog()->size(), 0u);
 }
 

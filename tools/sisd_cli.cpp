@@ -20,6 +20,10 @@
 //           rows it matches first and routes them to its own local normal
 //           model; everything else stays on the dataset-marginal default
 //           rule. Resumable through the same snapshot format as mine.
+//   append  grow a saved session's dataset with new CSV rows: the
+//           condition pool refreshes incrementally and the session
+//           rebases onto the grown data (rank-one constraint replay, no
+//           cold refit) — the live-dataset workflow from the shell.
 //
 // Every datagen scenario and arbitrary user data are drivable end to end:
 //   sisd_cli mine --scenario crime --iterations 3 --session-save s.json
@@ -33,6 +37,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +47,7 @@
 #include "common/strings.hpp"
 #include "core/export.hpp"
 #include "core/session.hpp"
+#include "data/append.hpp"
 #include "data/csv.hpp"
 #include "datagen/scenarios.hpp"
 #include "model/background_model.hpp"
@@ -71,6 +77,8 @@ USAGE
   sisd_cli list (--csv FILE --targets A[,B...] | --scenario NAME |
                  --session FILE) [--rules N] [--list-alpha X]
                 [--list-beta X] [--session-save OUT] [search options]
+  sisd_cli append --session FILE --csv ROWS.csv [--iterations N]
+                  [--session-save OUT]
 
 MINE INPUT
   --csv FILE            CSV file with a header row (types are inferred)
@@ -121,6 +129,17 @@ RESUME
   Restores the snapshot and continues mining; results are byte-identical
   to a session that never stopped. Saves back to --session-save when
   given, else to the --session file itself.
+
+APPEND
+  Restores the snapshot, appends the rows of --csv (header row required;
+  columns must match the session's dataset schema), refreshes the
+  condition pool incrementally from the session's own pool, and rebases
+  the session onto the grown dataset: the background model's prior is
+  recomputed on the grown targets and every assimilated constraint is
+  replayed through rank-one factorization updates — bit-identical to a
+  fresh session on the grown data fed the same history, without the cold
+  refit. --iterations N mines further on the grown data; the session
+  saves back to --session-save when given, else to the --session file.
 
 EXPORT
   --history FILE        one CSV row per completed iteration
@@ -202,6 +221,8 @@ Status ValidateFlags(const Args& args) {
          "--spread-sparsity", "--optimal", "--list-alpha", "--list-beta"});
   } else if (args.command == "resume") {
     add({"--session", "--iterations", "--session-save"});
+  } else if (args.command == "append") {
+    add({"--session", "--csv", "--iterations", "--session-save"});
   } else if (args.command == "export") {
     add({"--session", "--history", "--ranked", "--iteration", "--json"});
   } else if (args.command == "serve") {
@@ -389,6 +410,53 @@ Status RunResume(const Args& args) {
       session.mutable_assimilator()->num_constraints());
   SISD_ASSIGN_OR_RETURN(iterations, FlagInt(args, "--iterations", 1));
   SISD_RETURN_NOT_OK(MineIterationsAndPrint(&session, int(iterations)));
+  const std::string* save_path = args.Find("--session-save");
+  const std::string& out = save_path != nullptr ? *save_path : *path;
+  SISD_RETURN_NOT_OK(session.Save(out));
+  std::printf("session saved to %s (%zu iterations)\n", out.c_str(),
+              session.history().size());
+  return Status::OK();
+}
+
+Status RunAppend(const Args& args) {
+  const std::string* path = args.Find("--session");
+  if (path == nullptr) {
+    return Status::InvalidArgument("append needs --session FILE");
+  }
+  const std::string* csv = args.Find("--csv");
+  if (csv == nullptr) {
+    return Status::InvalidArgument(
+        "append needs --csv FILE with the new rows");
+  }
+  SISD_ASSIGN_OR_RETURN(session, core::MiningSession::Restore(*path));
+  const size_t parent_rows = session.dataset().num_rows();
+  std::printf(
+      "restored session over '%s': %zu rows, %zu iterations mined\n",
+      session.dataset().name.c_str(), parent_rows,
+      session.history().size());
+  SISD_ASSIGN_OR_RETURN(text, serialize::ReadTextFile(*csv));
+  SISD_ASSIGN_OR_RETURN(
+      grown, data::AppendRowsFromCsvText(session.dataset(), text));
+  search::IncrementalPoolStats pool_stats;
+  auto pool = std::make_shared<const search::ConditionPool>(
+      search::ConditionPool::BuildIncremental(
+          grown.descriptions, session.condition_pool(), parent_rows,
+          session.config().search.num_split_points,
+          session.config().search.include_exclusions, &pool_stats));
+  auto dataset = std::make_shared<const data::Dataset>(std::move(grown));
+  SISD_ASSIGN_OR_RETURN(outcome,
+                        session.Rebase(dataset, pool, std::nullopt));
+  std::printf(
+      "appended %zu rows (%zu total); pool refreshed (%zu conditions "
+      "extended in place, %zu rebuilt); replayed %zu iterations, %zu "
+      "list rules\n",
+      outcome.appended_rows, session.dataset().num_rows(),
+      pool_stats.reused, pool_stats.rebuilt, outcome.replayed_iterations,
+      outcome.replayed_rules);
+  SISD_ASSIGN_OR_RETURN(iterations, FlagInt(args, "--iterations", 0));
+  if (iterations > 0) {
+    SISD_RETURN_NOT_OK(MineIterationsAndPrint(&session, int(iterations)));
+  }
   const std::string* save_path = args.Find("--session-save");
   const std::string& out = save_path != nullptr ? *save_path : *path;
   SISD_RETURN_NOT_OK(session.Save(out));
@@ -667,6 +735,8 @@ int Main(int argc, char** argv) {
     status = RunMine(args.Value());
   } else if (args.Value().command == "resume") {
     status = RunResume(args.Value());
+  } else if (args.Value().command == "append") {
+    status = RunAppend(args.Value());
   } else if (args.Value().command == "export") {
     status = RunExport(args.Value());
   } else if (args.Value().command == "serve") {

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -55,12 +56,23 @@ OPTIONS
   --scenario NAME    dataset each session opens (default synthetic)
   --dataset-ref NAME open sessions against a preloaded catalog dataset
                      instead of embedding --scenario
+  --append-every N   every Nth round, append rows to the --dataset-ref
+                     dataset (dataset_append) and rebase the session onto
+                     the appended version (requires --dataset-ref and
+                     --append-csv; default 0 = off)
+  --append-csv FILE  CSV text (header + rows, matching the dataset's
+                     schema) sent as the dataset_append payload
   --output FILE      write the JSON summary to FILE (default: stdout)
 
 Each connection opens its own session (open is awaited before the
 pipelined phase so a backpressure rejection cannot orphan the script),
 then pipelines the traffic mix and closes. The summary reports
 client-observed latency over all requests.
+
+Append traffic is safe to race: every connection appends the same rows,
+so concurrent appends dedup onto one child version (named REF@v2), and
+every rebase targets that version by its derived name. A repeat append
+or rebase is a documented no-op (reused), still a valid ok response.
 )";
 
 struct LoadgenArgs {
@@ -70,6 +82,9 @@ struct LoadgenArgs {
   size_t pipeline = 8;
   std::string scenario = "synthetic";
   std::string dataset_ref;
+  size_t append_every = 0;  // 0 = no append traffic
+  std::string append_csv_path;
+  std::string append_csv_text;  // loaded from append_csv_path at startup
   std::string output;
 };
 
@@ -188,6 +203,23 @@ std::vector<ScriptedRequest> BuildScript(const LoadgenArgs& args,
         {{"iterations", JsonValue::Int(1)}}));
     if (round % 3 == 0) {
       script.push_back(MakeRequest(next_id++, "history", session, {}));
+    }
+    if (args.append_every > 0 && round % args.append_every == 0) {
+      // Grow the shared dataset and move this session onto the child.
+      // Identical rows from every connection dedup onto one version, so
+      // the child's derived name (REF@v2) is stable and the repeat
+      // append/rebase rounds are valid no-ops. The append carries the
+      // session name even though the verb ignores it: on the epoll
+      // transport that routes it through the same per-session FIFO queue
+      // as the rebase that follows, so a pipelined rebase can never be
+      // executed before the append that creates its target version.
+      script.push_back(MakeRequest(
+          next_id++, "dataset_append", session,
+          {{"dataset", JsonValue::Str(args.dataset_ref)},
+           {"csv_text", JsonValue::Str(args.append_csv_text)}}));
+      script.push_back(MakeRequest(
+          next_id++, "rebase", session,
+          {{"dataset", JsonValue::Str(args.dataset_ref + "@v2")}}));
     }
     if (round % 4 == 0) {
       // The synthetic scenario's binary label attributes are a3..a5 with
@@ -362,6 +394,11 @@ Result<LoadgenArgs> ParseArgs(int argc, char** argv) {
       args.scenario = value;
     } else if (flag == "--dataset-ref") {
       args.dataset_ref = value;
+    } else if (flag == "--append-every") {
+      SISD_ASSIGN_OR_RETURN(n, parse_positive("--append-every"));
+      args.append_every = n;
+    } else if (flag == "--append-csv") {
+      args.append_csv_path = value;
     } else if (flag == "--output") {
       args.output = value;
     } else {
@@ -370,6 +407,24 @@ Result<LoadgenArgs> ParseArgs(int argc, char** argv) {
   }
   if (args.port < 0) {
     return Status::InvalidArgument("--port is required");
+  }
+  if (args.append_every > 0) {
+    if (args.dataset_ref.empty() || args.append_csv_path.empty()) {
+      return Status::InvalidArgument(
+          "--append-every requires --dataset-ref and --append-csv");
+    }
+    std::ifstream in(args.append_csv_path);
+    if (!in) {
+      return Status::IOError("cannot open --append-csv '" +
+                             args.append_csv_path + "'");
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (text.empty()) {
+      return Status::InvalidArgument("--append-csv '" +
+                                     args.append_csv_path + "' is empty");
+    }
+    args.append_csv_text = std::move(text);
   }
   return args;
 }
